@@ -1,0 +1,39 @@
+# Convenience targets for the ILAN reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test bench race cover figures smoke clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full benchmark sweep (figures, ablations, micro-benches).
+bench:
+	$(GO) test -bench=. -benchmem -run=NONE .
+
+# The simulation is single-threaded by design, but the race detector keeps
+# the test harness itself honest.
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1
+
+# Reproduce every figure and table at paper scale (~1h on one core).
+figures:
+	$(GO) run ./cmd/ilanexp -exp all -reps 30
+
+# Quick end-to-end smoke: reduced scale, every experiment.
+smoke:
+	$(GO) run ./cmd/ilanexp -exp all -reps 2 -class test -q
+
+clean:
+	rm -f cover.out

@@ -1,0 +1,376 @@
+// Benchmark harness: one testing.B entry per table and figure of the
+// paper's evaluation, plus ablation benches for the design choices called
+// out in DESIGN.md and micro-benchmarks of the simulator substrate.
+//
+// The figure benches run the reduced (test-class) workloads so that
+// `go test -bench=.` completes quickly; the shapes match the paper-scale
+// campaign driven by cmd/ilanexp. Custom metrics carry the quantity each
+// figure reports: "speedup" (vs the baseline scheduler), "threads"
+// (weighted average active threads), "ovh-ratio" (overhead vs baseline),
+// and "stddev-s" (run-to-run standard deviation in virtual seconds).
+package ilan_test
+
+import (
+	"testing"
+
+	ilansched "github.com/ilan-sched/ilan/internal/ilan"
+	"github.com/ilan-sched/ilan/internal/machine"
+	"github.com/ilan-sched/ilan/internal/memsys"
+	"github.com/ilan-sched/ilan/internal/sched"
+	"github.com/ilan-sched/ilan/internal/sim"
+	"github.com/ilan-sched/ilan/internal/stats"
+	"github.com/ilan-sched/ilan/internal/taskrt"
+	"github.com/ilan-sched/ilan/internal/topology"
+	"github.com/ilan-sched/ilan/internal/workloads"
+)
+
+// benchMachine builds the 64-core paper platform with noise off, so bench
+// metrics are stable across -count runs.
+func benchMachine(seed uint64) *machine.Machine {
+	return machine.New(machine.Config{
+		Topo:  topology.MustNew(topology.Zen4Vera()),
+		Seed:  seed,
+		Noise: machine.NoiseConfig{Enabled: false},
+		Alpha: -1,
+	})
+}
+
+// runBench executes one benchmark under one scheduler and returns the
+// elapsed virtual seconds and the run result.
+func runBench(b *testing.B, w workloads.Benchmark, mk func() taskrt.Scheduler, seed uint64) (float64, *taskrt.RunResult) {
+	b.Helper()
+	m := benchMachine(seed)
+	prog := w.Build(m, workloads.ClassTest)
+	rt := taskrt.New(m, mk(), taskrt.DefaultCosts())
+	res, err := rt.RunProgram(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return float64(res.Elapsed), res
+}
+
+func newILAN() taskrt.Scheduler { return ilansched.New(ilansched.DefaultOptions()) }
+func newNoMold() taskrt.Scheduler {
+	o := ilansched.DefaultOptions()
+	o.Moldability = false
+	return ilansched.New(o)
+}
+func newBaseline() taskrt.Scheduler    { return &sched.Baseline{} }
+func newWorkSharing() taskrt.Scheduler { return &sched.WorkSharing{} }
+
+// BenchmarkFig2 regenerates Figure 2's quantity per benchmark: the
+// normalized speedup of ILAN over the default work-stealing baseline.
+func BenchmarkFig2(b *testing.B) {
+	for _, w := range workloads.All() {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			var speedup float64
+			for i := 0; i < b.N; i++ {
+				base, _ := runBench(b, w, newBaseline, uint64(i))
+				il, _ := runBench(b, w, newILAN, uint64(i))
+				speedup = base / il
+			}
+			b.ReportMetric(speedup, "speedup")
+		})
+	}
+}
+
+// BenchmarkFig3 regenerates Figure 3's quantity: the weighted average
+// thread count ILAN selects per benchmark.
+func BenchmarkFig3(b *testing.B) {
+	for _, w := range workloads.All() {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			var threads float64
+			for i := 0; i < b.N; i++ {
+				_, res := runBench(b, w, newILAN, uint64(i))
+				threads = res.WeightedAvgThreads
+			}
+			b.ReportMetric(threads, "threads")
+		})
+	}
+}
+
+// BenchmarkFig4 regenerates Figure 4: ILAN without moldability vs baseline.
+func BenchmarkFig4(b *testing.B) {
+	for _, w := range workloads.All() {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			var speedup float64
+			for i := 0; i < b.N; i++ {
+				base, _ := runBench(b, w, newBaseline, uint64(i))
+				nm, _ := runBench(b, w, newNoMold, uint64(i))
+				speedup = base / nm
+			}
+			b.ReportMetric(speedup, "speedup")
+		})
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1's quantity: the run-to-run standard
+// deviation of execution time under the baseline and under ILAN (noise on,
+// 6 repetitions per iteration at bench scale; the paper uses 30).
+func BenchmarkTable1(b *testing.B) {
+	run := func(w workloads.Benchmark, mk func() taskrt.Scheduler, rep uint64) float64 {
+		m := machine.New(machine.Config{
+			Topo:  topology.MustNew(topology.Zen4Vera()),
+			Seed:  rep,
+			Noise: machine.DefaultNoise(),
+			Alpha: -1,
+		})
+		rt := taskrt.New(m, mk(), taskrt.DefaultCosts())
+		res, err := rt.RunProgram(w.Build(m, workloads.ClassTest))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return float64(res.Elapsed)
+	}
+	for _, w := range workloads.All() {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			var sdBase, sdILAN float64
+			for i := 0; i < b.N; i++ {
+				var baseT, ilanT []float64
+				for rep := 0; rep < 6; rep++ {
+					seed := uint64(i*100 + rep)
+					baseT = append(baseT, run(w, newBaseline, seed))
+					ilanT = append(ilanT, run(w, newILAN, seed))
+				}
+				sdBase, sdILAN = stats.StdDev(baseT), stats.StdDev(ilanT)
+			}
+			b.ReportMetric(sdBase, "stddev-base-s")
+			b.ReportMetric(sdILAN, "stddev-ilan-s")
+		})
+	}
+}
+
+// BenchmarkFig5 regenerates Figure 5's quantity: accumulated scheduling
+// overhead of ILAN normalized to the baseline (lower is better).
+func BenchmarkFig5(b *testing.B) {
+	for _, w := range workloads.All() {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				_, baseRes := runBench(b, w, newBaseline, uint64(i))
+				_, ilanRes := runBench(b, w, newILAN, uint64(i))
+				ratio = ilanRes.OverheadSec / baseRes.OverheadSec
+			}
+			b.ReportMetric(ratio, "ovh-ratio")
+		})
+	}
+}
+
+// BenchmarkFig6 regenerates Figure 6's quantity: the speedup of static
+// OpenMP work-sharing over the tasking baseline (read together with
+// BenchmarkFig2 for the ILAN series).
+func BenchmarkFig6(b *testing.B) {
+	for _, w := range workloads.All() {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			var speedup float64
+			for i := 0; i < b.N; i++ {
+				base, _ := runBench(b, w, newBaseline, uint64(i))
+				ws, _ := runBench(b, w, newWorkSharing, uint64(i))
+				speedup = base / ws
+			}
+			b.ReportMetric(speedup, "speedup")
+		})
+	}
+}
+
+// --- ablations (DESIGN.md section 5) ---
+
+// BenchmarkAblationContention isolates the queueing-contention model: CG
+// under ILAN with the quadratic term on (default) vs off (beta = -1). With
+// the term off the interference signal disappears and moldability stops
+// paying.
+func BenchmarkAblationContention(b *testing.B) {
+	w, _ := workloads.ByName("CG")
+	for _, tc := range []struct {
+		name string
+		beta float64
+	}{{"quadratic-on", 0}, {"quadratic-off", -1}} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			var threads float64
+			for i := 0; i < b.N; i++ {
+				m := machine.New(machine.Config{
+					Topo: topology.MustNew(topology.Zen4Vera()), Seed: uint64(i),
+					Noise: machine.NoiseConfig{Enabled: false}, Alpha: -1, Beta: tc.beta,
+				})
+				rt := taskrt.New(m, newILAN(), taskrt.DefaultCosts())
+				res, err := rt.RunProgram(w.Build(m, workloads.ClassTest))
+				if err != nil {
+					b.Fatal(err)
+				}
+				threads = res.WeightedAvgThreads
+			}
+			b.ReportMetric(threads, "threads")
+		})
+	}
+}
+
+// BenchmarkAblationCache isolates the CCD L3 model: FT under ILAN with the
+// cache on vs disabled; the delta is the cache-reuse share of the locality
+// win.
+func BenchmarkAblationCache(b *testing.B) {
+	w, _ := workloads.ByName("FT")
+	for _, tc := range []struct {
+		name    string
+		disable bool
+	}{{"l3-on", false}, {"l3-off", true}} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			var elapsed float64
+			for i := 0; i < b.N; i++ {
+				m := machine.New(machine.Config{
+					Topo: topology.MustNew(topology.Zen4Vera()), Seed: uint64(i),
+					Noise: machine.NoiseConfig{Enabled: false}, Alpha: -1, DisableL3: tc.disable,
+				})
+				rt := taskrt.New(m, newILAN(), taskrt.DefaultCosts())
+				res, err := rt.RunProgram(w.Build(m, workloads.ClassTest))
+				if err != nil {
+					b.Fatal(err)
+				}
+				elapsed = float64(res.Elapsed)
+			}
+			b.ReportMetric(elapsed, "vsec")
+		})
+	}
+}
+
+// BenchmarkAblationGranularity sweeps ILAN's thread-count granularity g on
+// CG: the paper uses g = NUMA-node size (8); finer granularity explores
+// longer, coarser granularity can miss the optimum.
+func BenchmarkAblationGranularity(b *testing.B) {
+	w, _ := workloads.ByName("CG")
+	for _, g := range []int{4, 8, 16, 32} {
+		g := g
+		b.Run(map[int]string{4: "g4", 8: "g8-paper", 16: "g16", 32: "g32"}[g], func(b *testing.B) {
+			var elapsed float64
+			for i := 0; i < b.N; i++ {
+				m := benchMachine(uint64(i))
+				opts := ilansched.DefaultOptions()
+				opts.Granularity = g
+				rt := taskrt.New(m, ilansched.New(opts), taskrt.DefaultCosts())
+				res, err := rt.RunProgram(w.Build(m, workloads.ClassTest))
+				if err != nil {
+					b.Fatal(err)
+				}
+				elapsed = float64(res.Elapsed)
+			}
+			b.ReportMetric(elapsed, "vsec")
+		})
+	}
+}
+
+// BenchmarkAblationStealSplit sweeps the strict/stealable split of the
+// hierarchical distribution on the imbalanced CG workload: 1.0 means no
+// task may ever leave its node even under steal_policy=full.
+func BenchmarkAblationStealSplit(b *testing.B) {
+	w, _ := workloads.ByName("CG")
+	for _, frac := range []float64{0.5, 0.75, 1.0} {
+		frac := frac
+		b.Run(map[float64]string{0.5: "strict50", 0.75: "strict75-paper", 1.0: "strict100"}[frac],
+			func(b *testing.B) {
+				var elapsed float64
+				for i := 0; i < b.N; i++ {
+					m := benchMachine(uint64(i))
+					opts := ilansched.DefaultOptions()
+					opts.StrictFraction = frac
+					rt := taskrt.New(m, ilansched.New(opts), taskrt.DefaultCosts())
+					res, err := rt.RunProgram(w.Build(m, workloads.ClassTest))
+					if err != nil {
+						b.Fatal(err)
+					}
+					elapsed = float64(res.Elapsed)
+				}
+				b.ReportMetric(elapsed, "vsec")
+			})
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkEngineEvents measures raw event throughput of the DES core.
+func BenchmarkEngineEvents(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.NewEngine()
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(1e-6, tick)
+		}
+	}
+	e.After(0, tick)
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkMachineExec measures the fluid-model task execution path with
+// contention refreshes across 64 concurrently running tasks.
+func BenchmarkMachineExec(b *testing.B) {
+	b.ReportAllocs()
+	m := benchMachine(1)
+	r := m.Memory().NewRegion("r", 1<<30)
+	nodes := make([]int, 8)
+	for i := range nodes {
+		nodes[i] = i
+	}
+	r.PlaceBlocked(nodes)
+	cores := m.Topology().NumCores()
+	done := 0
+	var launch func(core int)
+	launch = func(core int) {
+		off := (int64(done) * memsys.BlockSize) % (1<<30 - 4*memsys.BlockSize)
+		m.Exec(core, 1e-6, []memsys.Access{{Region: r, Offset: off, Bytes: memsys.BlockSize, Pattern: memsys.Stream}},
+			func() {
+				done++
+				if done < b.N {
+					launch(core)
+				}
+			})
+	}
+	b.ResetTimer()
+	for c := 0; c < cores && c < b.N; c++ {
+		launch(c)
+	}
+	if err := m.Engine().Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkResolver measures access resolution (cache model + distance
+// inflation), the per-task hot path of the memory system.
+func BenchmarkResolver(b *testing.B) {
+	b.ReportAllocs()
+	topo := topology.MustNew(topology.Zen4Vera())
+	mem := memsys.NewMemory(topo)
+	res := memsys.NewResourceSet(topo)
+	caches := memsys.NewCacheSet(topo)
+	rv := memsys.NewResolver(topo, res, caches)
+	r := mem.NewRegion("r", 1<<30)
+	acc := []memsys.Access{
+		{Region: r, Offset: 0, Bytes: 4 * memsys.BlockSize, Pattern: memsys.Stream},
+		{Region: r, Offset: 0, Bytes: memsys.BlockSize, Span: 64 * memsys.BlockSize, Pattern: memsys.Gather},
+	}
+	var d memsys.Demand
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rv.Resolve(i%64, acc, &d)
+	}
+}
+
+// BenchmarkFullCampaignCG measures an entire CG run under ILAN at test
+// scale: the end-to-end cost of one experiment repetition.
+func BenchmarkFullCampaignCG(b *testing.B) {
+	b.ReportAllocs()
+	w, _ := workloads.ByName("CG")
+	for i := 0; i < b.N; i++ {
+		runBench(b, w, newILAN, uint64(i))
+	}
+}

@@ -1,0 +1,168 @@
+// Command ilanexp reproduces the paper's evaluation: it runs the seven
+// benchmarks under the requested schedulers on the simulated 64-core Zen 4
+// machine and prints the rows of the requested figure or table.
+//
+// Usage:
+//
+//	ilanexp -exp fig2                # Figure 2 (ILAN vs baseline speedup)
+//	ilanexp -exp all -reps 30        # every figure and table, paper setup
+//	ilanexp -exp fig6 -bench CG,FT   # subset of benchmarks
+//	ilanexp -exp fig2 -class test    # reduced scale (fast smoke run)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/ilan-sched/ilan/internal/harness"
+	"github.com/ilan-sched/ilan/internal/results"
+	"github.com/ilan-sched/ilan/internal/topology"
+	"github.com/ilan-sched/ilan/internal/workloads"
+)
+
+func main() {
+	exp := flag.String("exp", "fig2", "experiment: fig2|fig3|fig4|table1|fig5|fig6|affinity|counters|related|oracle|all")
+	reps := flag.Int("reps", 30, "repetitions per (benchmark, scheduler) pair")
+	class := flag.String("class", "paper", "benchmark scale: paper|test")
+	benchList := flag.String("bench", "", "comma-separated benchmark subset (default: all)")
+	seed := flag.Uint64("seed", 2025, "base random seed")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	chart := flag.Bool("chart", false, "render results as ASCII bar charts")
+	topo := flag.String("topo", "zen4", "machine topology: zen4|1socket|4socket|smalltest")
+	disturb := flag.Int("disturb", -1, "inject a sustained external interferer on this NUMA node (dynamic-asymmetry extension)")
+	out := flag.String("out", "", "also write the campaign as JSON (for resultdiff)")
+	label := flag.String("label", "", "label stored in the -out file")
+	in := flag.String("in", "", "render reports from a saved campaign JSON instead of running")
+	flag.Parse()
+
+	cfg := harness.DefaultConfig()
+	cfg.Reps = *reps
+	cfg.Seed = *seed
+	spec, ok := topology.Presets()[*topo]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ilanexp: unknown topology %q\n", *topo)
+		os.Exit(2)
+	}
+	cfg.Topo = spec
+	if *disturb >= 0 {
+		cfg.Disturb = &harness.Disturb{Node: *disturb}
+	}
+	switch *class {
+	case "paper":
+		cfg.Class = workloads.ClassPaper
+	case "test":
+		cfg.Class = workloads.ClassTest
+	default:
+		fmt.Fprintf(os.Stderr, "ilanexp: unknown class %q\n", *class)
+		os.Exit(2)
+	}
+
+	benches := workloads.All()
+	if *benchList != "" {
+		var subset []workloads.Benchmark
+		for _, name := range strings.Split(*benchList, ",") {
+			b, ok := workloads.ByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "ilanexp: unknown benchmark %q\n", name)
+				os.Exit(2)
+			}
+			subset = append(subset, b)
+		}
+		benches = subset
+	}
+
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ilanexp:", err)
+			os.Exit(1)
+		}
+		saved, err := results.Read(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ilanexp:", err)
+			os.Exit(1)
+		}
+		mx := saved.ToMatrix()
+		if err := harness.Report(os.Stdout, *exp, mx); err != nil {
+			fmt.Fprintln(os.Stderr, "ilanexp:", err)
+			os.Exit(1)
+		}
+		if *chart && *exp != "table1" {
+			fmt.Println()
+			if err := harness.RenderChart(os.Stdout, *exp, mx); err != nil {
+				fmt.Fprintln(os.Stderr, "ilanexp:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	if *exp == "oracle" {
+		progress := func(bench string, threads int, full bool) {
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "oracle %-8s threads=%-3d full=%v\n", bench, threads, full)
+			}
+		}
+		res, err := harness.RunOracle(benches, cfg, progress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ilanexp:", err)
+			os.Exit(1)
+		}
+		harness.ReportOracle(os.Stdout, res)
+		return
+	}
+
+	kinds, err := harness.KindsFor(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ilanexp:", err)
+		os.Exit(2)
+	}
+
+	progress := func(bench string, k harness.Kind) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "running %-8s %-12s (%d reps)\n", bench, k, cfg.Reps)
+		}
+	}
+	start := time.Now()
+	mx, err := harness.Run(benches, kinds, cfg, progress)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ilanexp:", err)
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "campaign finished in %v\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if err := harness.Report(os.Stdout, *exp, mx); err != nil {
+		fmt.Fprintln(os.Stderr, "ilanexp:", err)
+		os.Exit(1)
+	}
+	if *chart && *exp != "table1" {
+		fmt.Println()
+		if err := harness.RenderChart(os.Stdout, *exp, mx); err != nil {
+			fmt.Fprintln(os.Stderr, "ilanexp:", err)
+			os.Exit(1)
+		}
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ilanexp:", err)
+			os.Exit(1)
+		}
+		err = results.FromMatrix(mx, cfg, *label).Write(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ilanexp:", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "campaign written to %s\n", *out)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+// Command probe is a calibration utility: it runs one benchmark under the
+// baseline and under ILAN-without-moldability on identical machines and
+// prints the mean execution time of every taskloop under each, isolating
+// where hierarchical distribution gains or loses time.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"github.com/ilan-sched/ilan/internal/harness"
+	"github.com/ilan-sched/ilan/internal/machine"
+	"github.com/ilan-sched/ilan/internal/taskrt"
+	"github.com/ilan-sched/ilan/internal/topology"
+	"github.com/ilan-sched/ilan/internal/workloads"
+)
+
+type recorder struct {
+	inner taskrt.Scheduler
+	sums  map[int]float64
+	count map[int]int
+}
+
+func (r *recorder) Name() string { return r.inner.Name() }
+func (r *recorder) Plan(rt *taskrt.Runtime, sp *taskrt.LoopSpec) *taskrt.Plan {
+	return r.inner.Plan(rt, sp)
+}
+func (r *recorder) Observe(rt *taskrt.Runtime, sp *taskrt.LoopSpec, st *taskrt.LoopStats) {
+	r.inner.Observe(rt, sp, st)
+	r.sums[sp.ID] += float64(st.Elapsed)
+	r.count[sp.ID]++
+}
+
+func main() {
+	bench := flag.String("bench", "CG", "benchmark")
+	flag.Parse()
+	b, ok := workloads.ByName(*bench)
+	if !ok {
+		panic("unknown benchmark")
+	}
+	for _, kind := range []harness.Kind{harness.KindBaseline, harness.KindILANNoMold, harness.KindILAN} {
+		m := machine.New(machine.Config{
+			Topo: topology.MustNew(topology.Zen4Vera()),
+			Seed: 1, Noise: machine.NoiseConfig{}, Alpha: -1,
+		})
+		prog := b.Build(m, workloads.ClassPaper)
+		rec := &recorder{inner: harness.NewScheduler(kind), sums: map[int]float64{}, count: map[int]int{}}
+		rt := taskrt.New(m, rec, taskrt.DefaultCosts())
+		res, err := rt.RunProgram(prog)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-12s total=%.4fs\n", kind, float64(res.Elapsed))
+		for _, l := range prog.Loops {
+			fmt.Printf("    %-12s mean=%.4fms x%d\n", l.Name,
+				1e3*rec.sums[l.ID]/float64(rec.count[l.ID]), rec.count[l.ID])
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Command ptttrace runs one benchmark under the ILAN scheduler and prints
+// the Performance Trace Table's view of every taskloop: the thread counts
+// Algorithm 1 explored with their measured mean times, and the final
+// configuration (threads, node mask, steal policy).
+//
+// Usage:
+//
+//	ptttrace -bench CG
+//	ptttrace -bench SP -class test -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/ilan-sched/ilan/internal/ilan"
+	"github.com/ilan-sched/ilan/internal/machine"
+	"github.com/ilan-sched/ilan/internal/taskrt"
+	"github.com/ilan-sched/ilan/internal/topology"
+	"github.com/ilan-sched/ilan/internal/workloads"
+)
+
+func main() {
+	bench := flag.String("bench", "CG", "benchmark to trace")
+	class := flag.String("class", "paper", "benchmark scale: paper|test")
+	seed := flag.Uint64("seed", 1, "machine seed")
+	noise := flag.Bool("noise", true, "enable the machine noise model")
+	flag.Parse()
+
+	b, ok := workloads.ByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ptttrace: unknown benchmark %q\n", *bench)
+		os.Exit(2)
+	}
+	cls := workloads.ClassPaper
+	if *class == "test" {
+		cls = workloads.ClassTest
+	}
+
+	noiseCfg := machine.NoiseConfig{}
+	if *noise {
+		noiseCfg = machine.DefaultNoise()
+	}
+	m := machine.New(machine.Config{
+		Topo:  topology.MustNew(topology.Zen4Vera()),
+		Seed:  *seed,
+		Noise: noiseCfg,
+		Alpha: -1,
+	})
+	prog := b.Build(m, cls)
+	sch := ilan.New(ilan.DefaultOptions())
+	rt := taskrt.New(m, sch, taskrt.DefaultCosts())
+	res, err := rt.RunProgram(prog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ptttrace:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s (%s class): elapsed %.4fs, %d loop executions, %d tasks, weighted avg threads %.1f\n\n",
+		b.Name, cls, float64(res.Elapsed), res.LoopExecutions, res.TasksExecuted, res.WeightedAvgThreads)
+	for _, l := range prog.Loops {
+		cfg, phase, ok := sch.ChosenConfig(l.ID)
+		if !ok {
+			continue
+		}
+		fmt.Printf("loop %-12s phase=%-10s chosen=%v", l.Name, phase, cfg)
+		if extra, mean, ok := sch.Regret(l.ID); ok {
+			fmt.Printf("  exploration-cost=%.3fms (settled mean %.3fms)", 1e3*extra, 1e3*mean)
+		}
+		fmt.Println()
+		tried := sch.TriedConfigs(l.ID)
+		threads := make([]int, 0, len(tried))
+		for th := range tried {
+			threads = append(threads, th)
+		}
+		sort.Ints(threads)
+		for _, th := range threads {
+			fmt.Printf("    threads=%-3d mean=%.6fs\n", th, tried[th])
+		}
+		for _, rec := range sch.History(l.ID) {
+			if rec.K > 12 {
+				fmt.Println("    ...")
+				break
+			}
+			fmt.Printf("    k=%-3d %-10s cfg=%v elapsed=%.6fs\n",
+				rec.K, rec.Phase, rec.Cfg, rec.ElapsedSec)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+// Command resultdiff compares two persisted experiment campaigns (written
+// with `ilanexp -out`) and reports cells whose mean execution time,
+// scheduling overhead, or selected thread count moved by more than the
+// tolerance — the regression gate for changes to the simulator, runtime,
+// or scheduler.
+//
+// Usage:
+//
+//	resultdiff -tol 0.05 before.json after.json
+//
+// Exit status: 0 when within tolerance, 1 when differences were found,
+// 2 on usage or I/O errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/ilan-sched/ilan/internal/results"
+)
+
+func main() {
+	tol := flag.Float64("tol", 0.05, "relative tolerance before a change is reported")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: resultdiff [-tol 0.05] before.json after.json")
+		os.Exit(2)
+	}
+	load := func(path string) *results.File {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "resultdiff:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		r, err := results.Read(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "resultdiff: %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		return r
+	}
+	before := load(flag.Arg(0))
+	after := load(flag.Arg(1))
+
+	diffs := results.Compare(before, after, *tol)
+	if len(diffs) == 0 {
+		fmt.Printf("no differences beyond %.1f%% tolerance (%d cells compared)\n",
+			*tol*100, len(before.Cells))
+		return
+	}
+	fmt.Printf("%d differences beyond %.1f%% tolerance:\n", len(diffs), *tol*100)
+	for _, d := range diffs {
+		fmt.Println(" ", d)
+	}
+	os.Exit(1)
+}

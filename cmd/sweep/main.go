@@ -1,0 +1,67 @@
+// Command sweep runs sensitivity curves: one benchmark under the baseline
+// and ILAN across a range of machine-model parameter values (contention
+// coefficients, bandwidths), printing how the speedup and the molded
+// thread count respond — the evidence behind the calibration choices in
+// DESIGN.md §5.
+//
+// Usage:
+//
+//	sweep -bench CG -param beta -values 0,0.0003,0.001,0.003
+//	sweep -bench SP -param controllerbw -values 30e9,45e9,60e9 -reps 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/ilan-sched/ilan/internal/harness"
+	"github.com/ilan-sched/ilan/internal/machine"
+	"github.com/ilan-sched/ilan/internal/topology"
+	"github.com/ilan-sched/ilan/internal/workloads"
+)
+
+func main() {
+	bench := flag.String("bench", "CG", "benchmark to sweep")
+	param := flag.String("param", "beta", "parameter: alpha|beta|controllerbw|corebw|linkbw")
+	valuesArg := flag.String("values", "0,0.0003,0.001,0.003", "comma-separated parameter values")
+	reps := flag.Int("reps", 2, "repetitions per point")
+	class := flag.String("class", "test", "benchmark scale: paper|test")
+	seed := flag.Uint64("seed", 7, "base seed")
+	flag.Parse()
+
+	b, ok := workloads.ByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "sweep: unknown benchmark %q\n", *bench)
+		os.Exit(2)
+	}
+	var values []float64
+	for _, s := range strings.Split(*valuesArg, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: bad value %q: %v\n", s, err)
+			os.Exit(2)
+		}
+		values = append(values, v)
+	}
+	cfg := harness.Config{
+		Class: workloads.ClassTest,
+		Reps:  *reps,
+		Seed:  *seed,
+		Noise: machine.NoiseConfig{Enabled: false},
+		Topo:  topology.Zen4Vera(),
+	}
+	if *class == "paper" {
+		cfg.Class = workloads.ClassPaper
+	}
+
+	points, err := harness.Sweep(b, harness.SweepParam(*param), values, cfg,
+		func(v float64) { fmt.Fprintf(os.Stderr, "sweeping %s = %g\n", *param, v) })
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+	harness.ReportSweep(os.Stdout, b.Name, harness.SweepParam(*param), points)
+}

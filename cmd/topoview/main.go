@@ -1,0 +1,72 @@
+// Command topoview prints the simulated machine topology the experiments
+// run on — the equivalent of lstopo/hwloc output for the model: sockets,
+// NUMA nodes, CCDs and their cores, the node distance matrix, and the
+// bandwidth resources with their calibration.
+//
+// Usage:
+//
+//	topoview            # the paper's 64-core Zen 4 platform
+//	topoview -small     # the reduced test topology
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"github.com/ilan-sched/ilan/internal/memsys"
+	"github.com/ilan-sched/ilan/internal/topology"
+)
+
+func main() {
+	small := flag.Bool("small", false, "show the reduced test topology")
+	flag.Parse()
+
+	spec := topology.Zen4Vera()
+	if *small {
+		spec = topology.SmallTest()
+	}
+	m := topology.MustNew(spec)
+	fmt.Println(m)
+	fmt.Println()
+
+	for s := 0; s < m.NumSockets(); s++ {
+		fmt.Printf("socket %d\n", s)
+		for n := 0; n < m.NumNodes(); n++ {
+			if m.SocketOfNode(n) != s {
+				continue
+			}
+			fmt.Printf("  numa node %d (primary core %d)\n", n, m.PrimaryCore(n))
+			for _, d := range m.CCDsOfNode(n) {
+				cores := m.CoresOfCCD(d)
+				fmt.Printf("    ccd %2d  L3 %3d MiB  cores %v\n",
+					d, spec.L3BytesPerCCD>>20, cores)
+			}
+		}
+	}
+
+	fmt.Println("\nnode distance matrix (memory-access cost factors):")
+	fmt.Print("      ")
+	for b := 0; b < m.NumNodes(); b++ {
+		fmt.Printf("%6d", b)
+	}
+	fmt.Println()
+	for a := 0; a < m.NumNodes(); a++ {
+		fmt.Printf("%6d", a)
+		for b := 0; b < m.NumNodes(); b++ {
+			fmt.Printf("%6.1f", m.Distance(a, b))
+		}
+		fmt.Println()
+	}
+
+	rs := memsys.NewResourceSet(m)
+	fmt.Println("\nbandwidth resources:")
+	for r := memsys.ResourceID(0); int(r) < rs.Count(); r++ {
+		kind := "memory controller"
+		if !rs.IsController(r) {
+			kind = "inter-socket link"
+		}
+		fmt.Printf("  %-9s %-18s %5.0f GB/s\n", rs.Name(r), kind, rs.Bandwidth(r)/1e9)
+	}
+	fmt.Printf("\ncontention: alpha=%.3f beta=%.4f per unit load; core stream cap %.0f GB/s\n",
+		rs.Alpha, rs.Beta, rs.CoreStreamBW/1e9)
+}

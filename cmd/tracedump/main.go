@@ -1,0 +1,121 @@
+// Command tracedump runs a benchmark with task-event tracing enabled and
+// writes the execution trace (every task's placement, timing, and steal
+// provenance, plus taskloop boundaries) as JSON or JSON-lines — the raw
+// material for timelines, placement heatmaps and steal-flow analysis.
+//
+// Usage:
+//
+//	tracedump -bench CG -sched ilan -o cg.jsonl
+//	tracedump -bench FT -sched baseline -format json -o ft.json
+//	tracedump -bench SP                  # summary only, no file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	ilansched "github.com/ilan-sched/ilan/internal/ilan"
+	"github.com/ilan-sched/ilan/internal/machine"
+	"github.com/ilan-sched/ilan/internal/sched"
+	"github.com/ilan-sched/ilan/internal/taskrt"
+	"github.com/ilan-sched/ilan/internal/timeline"
+	"github.com/ilan-sched/ilan/internal/topology"
+	"github.com/ilan-sched/ilan/internal/workloads"
+)
+
+func main() {
+	bench := flag.String("bench", "CG", "benchmark to trace")
+	schedName := flag.String("sched", "ilan", "scheduler: baseline|worksharing|affinity|ilan|ilan-nomold")
+	class := flag.String("class", "test", "benchmark scale: paper|test")
+	out := flag.String("o", "", "output file (omit for summary only)")
+	format := flag.String("format", "jsonl", "output format: jsonl|json")
+	seed := flag.Uint64("seed", 1, "machine seed")
+	showTimeline := flag.Bool("timeline", false, "render an ASCII per-node occupancy timeline")
+	tlWidth := flag.Int("width", 100, "timeline width in columns")
+	flag.Parse()
+
+	b, ok := workloads.ByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tracedump: unknown benchmark %q\n", *bench)
+		os.Exit(2)
+	}
+	var s taskrt.Scheduler
+	switch *schedName {
+	case "baseline":
+		s = &sched.Baseline{}
+	case "worksharing":
+		s = &sched.WorkSharing{}
+	case "affinity":
+		s = &sched.Affinity{}
+	case "ilan":
+		s = ilansched.New(ilansched.DefaultOptions())
+	case "ilan-nomold":
+		o := ilansched.DefaultOptions()
+		o.Moldability = false
+		s = ilansched.New(o)
+	default:
+		fmt.Fprintf(os.Stderr, "tracedump: unknown scheduler %q\n", *schedName)
+		os.Exit(2)
+	}
+	cls := workloads.ClassTest
+	if *class == "paper" {
+		cls = workloads.ClassPaper
+	}
+
+	m := machine.New(machine.Config{
+		Topo:  topology.MustNew(topology.Zen4Vera()),
+		Seed:  *seed,
+		Noise: machine.NoiseConfig{},
+		Alpha: -1,
+	})
+	prog := b.Build(m, cls)
+	rt := taskrt.New(m, s, taskrt.DefaultCosts())
+	trace := rt.EnableTracing()
+	res, err := rt.RunProgram(prog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracedump:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s under %s: %.4f virtual seconds\n", b.Name, s.Name(), float64(res.Elapsed))
+	fmt.Println(trace.Summary(m.Topology().NumNodes()))
+
+	if *showTimeline {
+		fmt.Println()
+		err := timeline.Render(os.Stdout, trace, timeline.Options{
+			Width:  *tlWidth,
+			ByNode: true,
+			Cores:  m.Topology().NumCores(),
+			Nodes:  m.Topology().NumNodes(),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracedump:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *out == "" {
+		return
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracedump:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	switch *format {
+	case "json":
+		err = trace.WriteJSON(f)
+	case "jsonl":
+		err = trace.WriteJSONL(f)
+	default:
+		fmt.Fprintf(os.Stderr, "tracedump: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracedump:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("trace written to %s\n", *out)
+}

@@ -1,0 +1,87 @@
+// Hierarchy demo: the paper's locality scenario. A balanced stencil sweep
+// streams over a grid distributed across NUMA nodes. The topology-blind
+// baseline scatters tasks (remote accesses, coherence traffic); ILAN's
+// hierarchical distribution keeps each task on the node that owns its
+// slice, stealing inside nodes first. The demo compares the three
+// schedulers and shows where steals happened.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ilan "github.com/ilan-sched/ilan"
+)
+
+const (
+	iters = 2048
+	steps = 25
+)
+
+func buildProgram(m *ilan.Machine) *ilan.Program {
+	nodes := make([]int, m.Topology().NumNodes())
+	for i := range nodes {
+		nodes[i] = i
+	}
+	grid := m.Memory().NewRegion("grid", iters*(200<<10))
+	grid.PlaceBlocked(nodes)
+	flux := m.Memory().NewRegion("flux", iters*(120<<10))
+	flux.PlaceBlocked(nodes)
+
+	sweep := &ilan.LoopSpec{
+		ID: 1, Name: "sweep", Iters: iters, Tasks: 256,
+		Demand: func(lo, hi int) (float64, []ilan.Access) {
+			return 90e-6 * float64(hi-lo), []ilan.Access{{
+				Region: grid, Offset: int64(lo) * (200 << 10),
+				Bytes: int64(hi-lo) * (200 << 10), Pattern: ilan.Stream,
+			}}
+		},
+	}
+	update := &ilan.LoopSpec{
+		ID: 2, Name: "update", Iters: iters, Tasks: 256,
+		Demand: func(lo, hi int) (float64, []ilan.Access) {
+			return 45e-6 * float64(hi-lo), []ilan.Access{{
+				Region: flux, Offset: int64(lo) * (120 << 10),
+				Bytes: int64(hi-lo) * (120 << 10), Pattern: ilan.Stream,
+			}}
+		},
+	}
+	prog := &ilan.Program{Name: "hierarchy", Loops: []*ilan.LoopSpec{sweep, update}}
+	for i := 0; i < steps; i++ {
+		prog.Sequence = append(prog.Sequence, 0, 1)
+	}
+	return prog
+}
+
+func main() {
+	type row struct {
+		name string
+		mk   func() ilan.Scheduler
+	}
+	rows := []row{
+		{"baseline (flat stealing)", ilan.NewBaseline},
+		{"work-sharing (static)", ilan.NewWorkSharing},
+		{"ilan (hierarchical)", func() ilan.Scheduler { return ilan.NewScheduler(ilan.DefaultOptions()) }},
+	}
+	var baseline float64
+	fmt.Printf("%-28s %10s %10s %14s %14s\n",
+		"scheduler", "time(s)", "speedup", "local steals", "remote steals")
+	for i, r := range rows {
+		m := ilan.NewMachine(ilan.MachineConfig{Seed: 11})
+		rt := ilan.NewRuntime(m, r.mk())
+		res, err := rt.RunProgram(buildProgram(m))
+		if err != nil {
+			log.Fatal(err)
+		}
+		el := float64(res.Elapsed)
+		if i == 0 {
+			baseline = el
+		}
+		fmt.Printf("%-28s %10.4f %9.2fx %14d %14d\n",
+			r.name, el, baseline/el, res.StealsLocal, res.StealsRemote)
+	}
+	fmt.Println("\nthe baseline's steals cross NUMA nodes freely (remote column),")
+	fmt.Println("while ILAN keeps stealing inside nodes and needs no remote steals")
+	fmt.Println("on this balanced workload — that confinement is where the")
+	fmt.Println("locality speedup comes from.")
+}

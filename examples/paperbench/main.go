@@ -1,0 +1,62 @@
+// Paperbench: run one of the paper's seven benchmark models under all four
+// schedulers of the evaluation (baseline, work-sharing, ILAN, ILAN without
+// moldability) and print a one-line comparison — a miniature of Figures 2,
+// 4 and 6 for a single benchmark.
+//
+// Usage:
+//
+//	go run ./examples/paperbench            # CG at reduced scale
+//	go run ./examples/paperbench SP paper   # SP at paper scale
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	ilan "github.com/ilan-sched/ilan"
+)
+
+func main() {
+	name := "CG"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	class := ilan.ClassTest
+	if len(os.Args) > 2 && os.Args[2] == "paper" {
+		class = ilan.ClassPaper
+	}
+	bench, ok := ilan.BenchmarkByName(name)
+	if !ok {
+		log.Fatalf("unknown benchmark %q (have FT, BT, CG, LU, SP, Matmul, LULESH)", name)
+	}
+
+	noMold := ilan.DefaultOptions()
+	noMold.Moldability = false
+	schedulers := []struct {
+		label string
+		mk    func() ilan.Scheduler
+	}{
+		{"baseline", ilan.NewBaseline},
+		{"worksharing", ilan.NewWorkSharing},
+		{"ilan", func() ilan.Scheduler { return ilan.NewScheduler(ilan.DefaultOptions()) }},
+		{"ilan-nomold", func() ilan.Scheduler { return ilan.NewScheduler(noMold) }},
+	}
+
+	fmt.Printf("benchmark %s (%v class), seed-matched machines\n\n", bench.Name, class)
+	fmt.Printf("%-14s %12s %10s %12s\n", "scheduler", "time(s)", "speedup", "avg threads")
+	var base float64
+	for i, s := range schedulers {
+		m := ilan.NewMachine(ilan.MachineConfig{Seed: 2025, Noise: ilan.DefaultNoise()})
+		rt := ilan.NewRuntime(m, s.mk())
+		res, err := rt.RunProgram(bench.Build(m, class))
+		if err != nil {
+			log.Fatal(err)
+		}
+		el := float64(res.Elapsed)
+		if i == 0 {
+			base = el
+		}
+		fmt.Printf("%-14s %12.4f %9.3fx %12.1f\n", s.label, el, base/el, res.WeightedAvgThreads)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/ilan-sched/ilan
+
+go 1.22

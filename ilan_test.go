@@ -1,0 +1,86 @@
+package ilan_test
+
+import (
+	"testing"
+
+	ilan "github.com/ilan-sched/ilan"
+)
+
+// TestFacadeQuickstart exercises the public API end to end: machine,
+// scheduler, a custom taskloop program, and the result surface.
+func TestFacadeQuickstart(t *testing.T) {
+	m := ilan.NewMachine(ilan.MachineConfig{Topology: ilan.SmallTest(), Seed: 1})
+	region := m.Memory().NewRegion("data", 64<<21)
+	nodes := make([]int, m.Topology().NumNodes())
+	for i := range nodes {
+		nodes[i] = i
+	}
+	region.PlaceBlocked(nodes)
+
+	loop := &ilan.LoopSpec{
+		ID: 1, Name: "axpy", Iters: 128, Tasks: 32,
+		Demand: func(lo, hi int) (float64, []ilan.Access) {
+			return 5e-6 * float64(hi-lo), []ilan.Access{{
+				Region: region, Offset: int64(lo) << 20, Bytes: int64(hi-lo) << 20,
+				Pattern: ilan.Stream,
+			}}
+		},
+	}
+	sched := ilan.NewScheduler(ilan.DefaultOptions())
+	rt := ilan.NewRuntime(m, sched)
+	prog := &ilan.Program{Name: "quick", Loops: []*ilan.LoopSpec{loop},
+		Sequence: []int{0, 0, 0, 0, 0, 0, 0, 0, 0, 0}}
+	res, err := rt.RunProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed <= 0 || res.LoopExecutions != 10 {
+		t.Fatalf("bad result: %+v", res)
+	}
+	if _, _, ok := sched.ChosenConfig(1); !ok {
+		t.Fatal("PTT empty after run")
+	}
+}
+
+func TestFacadeDefaultsToZen4(t *testing.T) {
+	m := ilan.NewMachine(ilan.MachineConfig{})
+	if m.Topology().NumCores() != 64 {
+		t.Fatalf("default machine has %d cores, want 64", m.Topology().NumCores())
+	}
+}
+
+func TestFacadeBenchmarkRegistry(t *testing.T) {
+	if len(ilan.Benchmarks()) != 7 {
+		t.Fatalf("want 7 benchmarks, got %d", len(ilan.Benchmarks()))
+	}
+	b, ok := ilan.BenchmarkByName("SP")
+	if !ok {
+		t.Fatal("SP missing")
+	}
+	m := ilan.NewMachine(ilan.MachineConfig{Seed: 2})
+	prog := b.Build(m, ilan.ClassTest)
+	rt := ilan.NewRuntime(m, ilan.NewBaseline())
+	if _, err := rt.RunProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeAllSchedulersRun(t *testing.T) {
+	for _, mk := range []func() ilan.Scheduler{
+		func() ilan.Scheduler { return ilan.NewBaseline() },
+		func() ilan.Scheduler { return ilan.NewWorkSharing() },
+		func() ilan.Scheduler { return ilan.NewScheduler(ilan.DefaultOptions()) },
+	} {
+		s := mk()
+		m := ilan.NewMachine(ilan.MachineConfig{Topology: ilan.SmallTest(), Seed: 3})
+		b, _ := ilan.BenchmarkByName("FT")
+		rt := ilan.NewRuntimeWithCosts(m, s, ilan.DefaultCosts())
+		res, err := rt.RunProgram(b.Build(m, ilan.ClassTest))
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if res.TasksExecuted == 0 {
+			t.Fatalf("%s executed no tasks", s.Name())
+		}
+	}
+}

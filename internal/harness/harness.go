@@ -1,0 +1,340 @@
+// Package harness runs the paper's experiments: every benchmark under
+// every scheduler for N repetitions on fresh simulated machines, and
+// formats the aggregates as the rows of each figure and table in the
+// evaluation section.
+package harness
+
+import (
+	"fmt"
+
+	"github.com/ilan-sched/ilan/internal/ilan"
+	"github.com/ilan-sched/ilan/internal/machine"
+	"github.com/ilan-sched/ilan/internal/sched"
+	"github.com/ilan-sched/ilan/internal/stats"
+	"github.com/ilan-sched/ilan/internal/taskrt"
+	"github.com/ilan-sched/ilan/internal/topology"
+	"github.com/ilan-sched/ilan/internal/workloads"
+)
+
+// Kind identifies a scheduler under test.
+type Kind uint8
+
+const (
+	// KindBaseline is the default LLVM-like random work-stealing scheduler.
+	KindBaseline Kind = iota
+	// KindILAN is the full ILAN scheduler.
+	KindILAN
+	// KindILANNoMold is ILAN with moldability disabled (Figure 4).
+	KindILANNoMold
+	// KindWorkSharing is static OpenMP work-sharing (Figure 6).
+	KindWorkSharing
+	// KindAffinity honours OpenMP affinity-clause hints but has no
+	// interference awareness — the §3.4 comparison (extension experiment,
+	// not a paper figure).
+	KindAffinity
+	// KindILANCounters is ILAN with performance-counter-guided selection:
+	// compute-bound loops skip exploration (the paper's future work).
+	KindILANCounters
+	// KindShepherd is the shepherd-style hierarchical scheduler of the
+	// related work ILAN builds on (Olivier et al.): hierarchical
+	// distribution and chunked remote steals, but no PTT, no moldability.
+	KindShepherd
+	numKinds
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindBaseline:
+		return "baseline"
+	case KindILAN:
+		return "ilan"
+	case KindILANNoMold:
+		return "ilan-nomold"
+	case KindWorkSharing:
+		return "worksharing"
+	case KindAffinity:
+		return "affinity"
+	case KindILANCounters:
+		return "ilan-counters"
+	case KindShepherd:
+		return "shepherd"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// NewScheduler constructs a fresh scheduler of the kind. Schedulers carry
+// per-run state (the PTT), so every run gets a new one.
+func NewScheduler(k Kind) taskrt.Scheduler {
+	switch k {
+	case KindBaseline:
+		return &sched.Baseline{}
+	case KindILAN:
+		return ilan.New(ilan.DefaultOptions())
+	case KindILANNoMold:
+		opts := ilan.DefaultOptions()
+		opts.Moldability = false
+		return ilan.New(opts)
+	case KindWorkSharing:
+		return &sched.WorkSharing{}
+	case KindAffinity:
+		return &sched.Affinity{}
+	case KindILANCounters:
+		opts := ilan.DefaultOptions()
+		opts.CounterGuided = true
+		return ilan.New(opts)
+	case KindShepherd:
+		return &sched.Shepherd{}
+	default:
+		panic(fmt.Sprintf("harness: unknown kind %d", k))
+	}
+}
+
+// Config controls an experiment campaign.
+type Config struct {
+	Class workloads.Class
+	Reps  int
+	Seed  uint64
+	Noise machine.NoiseConfig
+	Topo  topology.Spec // zero value selects Zen4Vera
+	// Disturb, when non-nil, injects a sustained external interferer on
+	// one NUMA node (see machine.DisturbNode) — the dynamic-asymmetry
+	// extension experiment.
+	Disturb *Disturb
+	// Machine-model overrides for sensitivity sweeps; zero values keep
+	// the memsys calibration defaults, and nil pointers keep the default
+	// contention coefficients.
+	ControllerBW float64
+	LinkBW       float64
+	CoreStreamBW float64
+	Alpha        *float64
+	Beta         *float64
+}
+
+// Disturb describes an external interferer for the asymmetry experiment.
+type Disturb struct {
+	Node     int
+	Slowdown float64 // core speed factor, (0, 1]; 0 selects 0.6
+	MemLoad  float64 // controller queue-pressure load; 0 selects 8
+}
+
+// DefaultConfig reproduces the paper's methodology: the 64-core Zen 4
+// platform, 30 repetitions, noise on.
+func DefaultConfig() Config {
+	return Config{
+		Class: workloads.ClassPaper,
+		Reps:  30,
+		Seed:  2025,
+		Noise: machine.DefaultNoise(),
+		Topo:  topology.Zen4Vera(),
+	}
+}
+
+// RunSample is one benchmark run's measurements.
+type RunSample struct {
+	ElapsedSec      float64
+	OverheadSec     float64
+	WeightedThreads float64
+	StealsLocal     int
+	StealsRemote    int
+	Tasks           uint64
+}
+
+// Cell aggregates all repetitions of one (benchmark, scheduler) pair.
+type Cell struct {
+	Bench   string
+	Kind    Kind
+	Samples []RunSample
+}
+
+// Times returns the elapsed seconds of all samples.
+func (c *Cell) Times() []float64 {
+	out := make([]float64, len(c.Samples))
+	for i, s := range c.Samples {
+		out[i] = s.ElapsedSec
+	}
+	return out
+}
+
+// Overheads returns the scheduling overhead seconds of all samples.
+func (c *Cell) Overheads() []float64 {
+	out := make([]float64, len(c.Samples))
+	for i, s := range c.Samples {
+		out[i] = s.OverheadSec
+	}
+	return out
+}
+
+// MeanThreads returns the mean execution-time-weighted thread count.
+func (c *Cell) MeanThreads() float64 {
+	out := make([]float64, len(c.Samples))
+	for i, s := range c.Samples {
+		out[i] = s.WeightedThreads
+	}
+	return stats.Mean(out)
+}
+
+// RunOne executes one repetition of a benchmark under a scheduler kind on a
+// fresh machine and returns its sample. Seeds are per-repetition, not
+// per-scheduler, so schedulers face identical noise in a given repetition.
+func RunOne(b workloads.Benchmark, k Kind, cfg Config, rep int) (RunSample, error) {
+	topoSpec := cfg.Topo
+	if topoSpec.Sockets == 0 {
+		topoSpec = topology.Zen4Vera()
+	}
+	mc := machine.Config{
+		Topo:         topology.MustNew(topoSpec),
+		Seed:         cfg.Seed ^ (uint64(rep)+1)*0x9e3779b97f4a7c15,
+		Noise:        cfg.Noise,
+		Alpha:        -1,
+		ControllerBW: cfg.ControllerBW,
+		LinkBW:       cfg.LinkBW,
+		CoreStreamBW: cfg.CoreStreamBW,
+	}
+	if cfg.Alpha != nil {
+		mc.Alpha = *cfg.Alpha
+	}
+	if cfg.Beta != nil {
+		mc.Beta = *cfg.Beta
+		if *cfg.Beta == 0 {
+			mc.Beta = -1 // machine.Config uses negative to force zero
+		}
+	}
+	m := machine.New(mc)
+	if d := cfg.Disturb; d != nil {
+		slow, load := d.Slowdown, d.MemLoad
+		if slow == 0 {
+			slow = 0.6
+		}
+		if load == 0 {
+			load = 8
+		}
+		m.DisturbNode(d.Node, slow, load)
+	}
+	prog := b.Build(m, cfg.Class)
+	rt := taskrt.New(m, NewScheduler(k), taskrt.DefaultCosts())
+	res, err := rt.RunProgram(prog)
+	if err != nil {
+		return RunSample{}, fmt.Errorf("harness: %s/%s rep %d: %w", b.Name, k, rep, err)
+	}
+	return RunSample{
+		ElapsedSec:      float64(res.Elapsed),
+		OverheadSec:     res.OverheadSec,
+		WeightedThreads: res.WeightedAvgThreads,
+		StealsLocal:     res.StealsLocal,
+		StealsRemote:    res.StealsRemote,
+		Tasks:           res.TasksExecuted,
+	}, nil
+}
+
+// RunCell executes all repetitions of one (benchmark, kind) pair.
+func RunCell(b workloads.Benchmark, k Kind, cfg Config) (*Cell, error) {
+	c := &Cell{Bench: b.Name, Kind: k}
+	for rep := 0; rep < cfg.Reps; rep++ {
+		s, err := RunOne(b, k, cfg, rep)
+		if err != nil {
+			return nil, err
+		}
+		c.Samples = append(c.Samples, s)
+	}
+	return c, nil
+}
+
+// Matrix holds results for a set of benchmarks under a set of kinds.
+type Matrix struct {
+	Benches []string
+	cells   map[string]map[Kind]*Cell
+}
+
+// Run executes the full campaign for the given benchmarks and kinds.
+// progress, if non-nil, is called before each cell starts.
+func Run(benches []workloads.Benchmark, kinds []Kind, cfg Config,
+	progress func(bench string, k Kind)) (*Matrix, error) {
+	mx := &Matrix{cells: make(map[string]map[Kind]*Cell)}
+	for _, b := range benches {
+		mx.Benches = append(mx.Benches, b.Name)
+		mx.cells[b.Name] = make(map[Kind]*Cell)
+		for _, k := range kinds {
+			if progress != nil {
+				progress(b.Name, k)
+			}
+			cell, err := RunCell(b, k, cfg)
+			if err != nil {
+				return nil, err
+			}
+			mx.cells[b.Name][k] = cell
+		}
+	}
+	return mx, nil
+}
+
+// Cell returns the results of one (benchmark, kind) pair, or nil.
+func (m *Matrix) Cell(bench string, k Kind) *Cell {
+	row, ok := m.cells[bench]
+	if !ok {
+		return nil
+	}
+	return row[k]
+}
+
+// KindFromString parses a kind name (the inverse of Kind.String).
+func KindFromString(s string) (Kind, bool) {
+	for k := Kind(0); k < numKinds; k++ {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// BuildMatrix assembles a matrix from pre-computed cells (e.g. loaded from
+// a results file). Bench order follows first appearance.
+func BuildMatrix(cells []*Cell) *Matrix {
+	mx := &Matrix{cells: make(map[string]map[Kind]*Cell)}
+	for _, c := range cells {
+		if _, ok := mx.cells[c.Bench]; !ok {
+			mx.cells[c.Bench] = make(map[Kind]*Cell)
+			mx.Benches = append(mx.Benches, c.Bench)
+		}
+		mx.cells[c.Bench][c.Kind] = c
+	}
+	return mx
+}
+
+// EachCell visits every cell in deterministic (bench, kind) order.
+func (m *Matrix) EachCell(visit func(*Cell)) {
+	for _, b := range m.Benches {
+		for k := Kind(0); k < numKinds; k++ {
+			if c := m.cells[b][k]; c != nil {
+				visit(c)
+			}
+		}
+	}
+}
+
+// Speedup returns mean(baseline)/mean(kind) for a benchmark: the paper's
+// normalized speedup metric (higher is better, 1.0 = baseline parity).
+func (m *Matrix) Speedup(bench string, k Kind) float64 {
+	base := m.Cell(bench, KindBaseline)
+	c := m.Cell(bench, k)
+	if base == nil || c == nil {
+		return 0
+	}
+	return stats.Speedup(stats.Mean(base.Times()), stats.Mean(c.Times()))
+}
+
+// OverheadRatio returns mean(kind overhead)/mean(baseline overhead): the
+// normalized accumulated scheduling overhead of Figure 5 (lower is better).
+func (m *Matrix) OverheadRatio(bench string, k Kind) float64 {
+	base := m.Cell(bench, KindBaseline)
+	c := m.Cell(bench, k)
+	if base == nil || c == nil {
+		return 0
+	}
+	baseMean := stats.Mean(base.Overheads())
+	if baseMean == 0 {
+		return 0
+	}
+	return stats.Mean(c.Overheads()) / baseMean
+}

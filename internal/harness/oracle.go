@@ -1,0 +1,133 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/ilan-sched/ilan/internal/ilan"
+	"github.com/ilan-sched/ilan/internal/machine"
+	"github.com/ilan-sched/ilan/internal/stats"
+	"github.com/ilan-sched/ilan/internal/taskrt"
+	"github.com/ilan-sched/ilan/internal/topology"
+	"github.com/ilan-sched/ilan/internal/workloads"
+)
+
+// OraclePoint is one fixed configuration's measured performance.
+type OraclePoint struct {
+	Threads   int
+	StealFull bool
+	MeanSec   float64
+}
+
+// OracleResult summarizes one benchmark's oracle study.
+type OracleResult struct {
+	Bench string
+	// Points holds every fixed configuration evaluated.
+	Points []OraclePoint
+	// Best is the fastest fixed configuration (the "oracle").
+	Best OraclePoint
+	// ILANSec / BaselineSec are the adaptive scheduler's and the default
+	// scheduler's mean times on the same machines.
+	ILANSec     float64
+	BaselineSec float64
+}
+
+// Efficiency returns how much of the oracle's performance ILAN's online
+// search achieves (oracle time / ILAN time; 1.0 = matches the oracle,
+// which includes the oracle paying no exploration cost).
+func (r *OracleResult) Efficiency() float64 {
+	if r.ILANSec == 0 {
+		return 0
+	}
+	return r.Best.MeanSec / r.ILANSec
+}
+
+// runFixed measures one fixed (threads, policy) configuration.
+func runFixedConfig(b workloads.Benchmark, threads int, full bool, cfg Config) (float64, error) {
+	var times []float64
+	for rep := 0; rep < cfg.Reps; rep++ {
+		topoSpec := cfg.Topo
+		if topoSpec.Sockets == 0 {
+			topoSpec = topology.Zen4Vera()
+		}
+		m := machine.New(machine.Config{
+			Topo:  topology.MustNew(topoSpec),
+			Seed:  cfg.Seed ^ (uint64(rep)+1)*0x9e3779b97f4a7c15,
+			Noise: cfg.Noise,
+			Alpha: -1,
+		})
+		opts := ilan.DefaultOptions()
+		opts.FixedThreads = threads
+		opts.FixedStealFull = full
+		rt := taskrt.New(m, ilan.New(opts), taskrt.DefaultCosts())
+		res, err := rt.RunProgram(b.Build(m, cfg.Class))
+		if err != nil {
+			return 0, err
+		}
+		times = append(times, float64(res.Elapsed))
+	}
+	return stats.Mean(times), nil
+}
+
+// RunOracle evaluates every fixed width (in granularity steps of the NUMA
+// node size) under both steal policies for each benchmark, and compares the
+// best fixed configuration against ILAN's online search — quantifying both
+// the headroom of Algorithm 1's non-exhaustive exploration and its cost.
+func RunOracle(benches []workloads.Benchmark, cfg Config,
+	progress func(bench string, threads int, full bool)) ([]OracleResult, error) {
+	topoSpec := cfg.Topo
+	if topoSpec.Sockets == 0 {
+		topoSpec = topology.Zen4Vera()
+	}
+	topo := topology.MustNew(topoSpec)
+	g := topo.NodeSize()
+	var out []OracleResult
+	for _, b := range benches {
+		r := OracleResult{Bench: b.Name}
+		for threads := g; threads <= topo.NumCores(); threads += g {
+			for _, full := range []bool{false, true} {
+				if progress != nil {
+					progress(b.Name, threads, full)
+				}
+				mean, err := runFixedConfig(b, threads, full, cfg)
+				if err != nil {
+					return nil, err
+				}
+				p := OraclePoint{Threads: threads, StealFull: full, MeanSec: mean}
+				r.Points = append(r.Points, p)
+				if r.Best.MeanSec == 0 || mean < r.Best.MeanSec {
+					r.Best = p
+				}
+			}
+		}
+		ilanCell, err := RunCell(b, KindILAN, cfg)
+		if err != nil {
+			return nil, err
+		}
+		baseCell, err := RunCell(b, KindBaseline, cfg)
+		if err != nil {
+			return nil, err
+		}
+		r.ILANSec = stats.Mean(ilanCell.Times())
+		r.BaselineSec = stats.Mean(baseCell.Times())
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ReportOracle prints the oracle study.
+func ReportOracle(w io.Writer, results []OracleResult) {
+	fmt.Fprintln(w, "Oracle study: best fixed (threads, steal_policy) vs ILAN's online search")
+	fmt.Fprintln(w, "(efficiency = oracle time / ILAN time; the oracle pays no exploration cost)")
+	fmt.Fprintf(w, "%-8s %16s %12s %12s %12s %12s\n",
+		"bench", "oracle config", "oracle(s)", "ilan(s)", "baseline(s)", "efficiency")
+	for _, r := range results {
+		policy := "strict"
+		if r.Best.StealFull {
+			policy = "full"
+		}
+		fmt.Fprintf(w, "%-8s %9d/%-6s %12.4f %12.4f %12.4f %11.1f%%\n",
+			r.Bench, r.Best.Threads, policy, r.Best.MeanSec, r.ILANSec,
+			r.BaselineSec, 100*r.Efficiency())
+	}
+}

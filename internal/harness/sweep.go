@@ -1,0 +1,93 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/ilan-sched/ilan/internal/stats"
+	"github.com/ilan-sched/ilan/internal/workloads"
+)
+
+// SweepParam names a machine-model parameter a sweep varies.
+type SweepParam string
+
+// Sweepable parameters.
+const (
+	SweepAlpha        SweepParam = "alpha"
+	SweepBeta         SweepParam = "beta"
+	SweepControllerBW SweepParam = "controllerbw"
+	SweepCoreBW       SweepParam = "corebw"
+	SweepLinkBW       SweepParam = "linkbw"
+)
+
+// SweepPoint is the outcome at one parameter value.
+type SweepPoint struct {
+	Value float64
+	// Speedup is mean(baseline)/mean(ILAN) at this value.
+	Speedup float64
+	// Threads is ILAN's mean weighted thread count.
+	Threads float64
+	// BaselineSec / ILANSec are the mean elapsed times.
+	BaselineSec float64
+	ILANSec     float64
+}
+
+// Sweep runs a benchmark under the baseline and ILAN across values of one
+// machine-model parameter — the sensitivity curves behind the calibration
+// choices in DESIGN.md §5.
+func Sweep(bench workloads.Benchmark, param SweepParam, values []float64,
+	cfg Config, progress func(v float64)) ([]SweepPoint, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("harness: sweep with no values")
+	}
+	var out []SweepPoint
+	for _, v := range values {
+		if progress != nil {
+			progress(v)
+		}
+		c := cfg
+		vv := v
+		switch param {
+		case SweepAlpha:
+			c.Alpha = &vv
+		case SweepBeta:
+			c.Beta = &vv
+		case SweepControllerBW:
+			c.ControllerBW = vv
+		case SweepCoreBW:
+			c.CoreStreamBW = vv
+		case SweepLinkBW:
+			c.LinkBW = vv
+		default:
+			return nil, fmt.Errorf("harness: unknown sweep parameter %q", param)
+		}
+		base, err := RunCell(bench, KindBaseline, c)
+		if err != nil {
+			return nil, err
+		}
+		il, err := RunCell(bench, KindILAN, c)
+		if err != nil {
+			return nil, err
+		}
+		bm, im := stats.Mean(base.Times()), stats.Mean(il.Times())
+		out = append(out, SweepPoint{
+			Value:       v,
+			Speedup:     stats.Speedup(bm, im),
+			Threads:     il.MeanThreads(),
+			BaselineSec: bm,
+			ILANSec:     im,
+		})
+	}
+	return out, nil
+}
+
+// ReportSweep prints a sweep as a table.
+func ReportSweep(w io.Writer, bench string, param SweepParam, points []SweepPoint) {
+	fmt.Fprintf(w, "sensitivity of %s to %s (ILAN vs baseline)\n", bench, param)
+	fmt.Fprintf(w, "%14s %10s %10s %14s %14s\n",
+		string(param), "speedup", "threads", "baseline(s)", "ilan(s)")
+	for _, p := range points {
+		fmt.Fprintf(w, "%14.5g %9.3fx %10.1f %14.4f %14.4f\n",
+			p.Value, p.Speedup, p.Threads, p.BaselineSec, p.ILANSec)
+	}
+}

@@ -1,0 +1,96 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSweepBeta(t *testing.T) {
+	b := mustBench(t, "CG")
+	cfg := testConfig()
+	cfg.Reps = 1
+	points, err := Sweep(b, SweepBeta, []float64{0, 0.003}, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points, want 2", len(points))
+	}
+	for _, p := range points {
+		if p.Speedup <= 0 || p.BaselineSec <= 0 || p.ILANSec <= 0 || p.Threads <= 0 {
+			t.Fatalf("degenerate point: %+v", p)
+		}
+	}
+	// Stronger contention must not make the baseline faster.
+	if points[1].BaselineSec < points[0].BaselineSec {
+		t.Fatalf("baseline got faster under higher beta: %+v", points)
+	}
+}
+
+func TestSweepAllParams(t *testing.T) {
+	b := mustBench(t, "Matmul")
+	cfg := testConfig()
+	cfg.Reps = 1
+	for _, param := range []SweepParam{SweepAlpha, SweepBeta, SweepControllerBW, SweepCoreBW, SweepLinkBW} {
+		vals := []float64{0.05}
+		if param == SweepControllerBW || param == SweepCoreBW || param == SweepLinkBW {
+			vals = []float64{20e9}
+		}
+		if _, err := Sweep(b, param, vals, cfg, nil); err != nil {
+			t.Fatalf("Sweep(%s): %v", param, err)
+		}
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	b := mustBench(t, "Matmul")
+	cfg := testConfig()
+	if _, err := Sweep(b, SweepBeta, nil, cfg, nil); err == nil {
+		t.Fatal("empty sweep accepted")
+	}
+	if _, err := Sweep(b, SweepParam("bogus"), []float64{1}, cfg, nil); err == nil {
+		t.Fatal("unknown parameter accepted")
+	}
+}
+
+func TestSweepProgressAndReport(t *testing.T) {
+	b := mustBench(t, "Matmul")
+	cfg := testConfig()
+	cfg.Reps = 1
+	var seen []float64
+	points, err := Sweep(b, SweepAlpha, []float64{0.01, 0.05}, cfg,
+		func(v float64) { seen = append(seen, v) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 {
+		t.Fatalf("progress called %d times, want 2", len(seen))
+	}
+	var buf bytes.Buffer
+	ReportSweep(&buf, b.Name, SweepAlpha, points)
+	if !strings.Contains(buf.String(), "alpha") || !strings.Contains(buf.String(), "Matmul") {
+		t.Fatalf("report missing content:\n%s", buf.String())
+	}
+}
+
+func TestConfigOverridesReachMachine(t *testing.T) {
+	// A tiny controller bandwidth must slow a memory-bound benchmark down.
+	b := mustBench(t, "CG")
+	fast := testConfig()
+	fast.Reps = 1
+	slow := fast
+	slow.ControllerBW = 2e9
+	slow.CoreStreamBW = 2e9
+	sFast, err := RunOne(b, KindBaseline, fast, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sSlow, err := RunOne(b, KindBaseline, slow, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sSlow.ElapsedSec <= sFast.ElapsedSec {
+		t.Fatalf("bandwidth override ineffective: %g vs %g", sSlow.ElapsedSec, sFast.ElapsedSec)
+	}
+}

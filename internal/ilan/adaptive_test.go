@@ -1,0 +1,122 @@
+package ilan
+
+import (
+	"testing"
+
+	"github.com/ilan-sched/ilan/internal/memsys"
+	"github.com/ilan-sched/ilan/internal/taskrt"
+)
+
+// imbalancedSpec builds a heavily imbalanced compute loop that settles on
+// steal_policy = full (last node's tasks are much heavier).
+func imbalancedSpec(id int) *taskrt.LoopSpec {
+	return &taskrt.LoopSpec{
+		ID: id, Name: "imbalanced", Iters: 256, Tasks: 64,
+		Demand: func(lo, hi int) (float64, []memsys.Access) {
+			w := 20e-6 * float64(hi-lo)
+			if lo >= 192 {
+				w *= 6
+			}
+			return w, nil
+		},
+	}
+}
+
+func TestAdaptiveFractionReleasesGreensUnderPressure(t *testing.T) {
+	opts := DefaultOptions()
+	opts.AdaptiveStrictFraction = true
+	opts.StrictFraction = 0.9 // start locality-heavy: few greens
+	s := New(opts)
+	topo := smallTopo()
+	rt := newRuntime(t, s, 45e9)
+	ls := s.state(7, topo)
+	ls.phase = PhaseSettled
+	ls.pending = Config{Threads: 16, StealFull: true}
+	ls.lastGreens = 4
+	spec := &taskrt.LoopSpec{ID: 7, Name: "x"}
+	feed := func(remote int) {
+		s.Observe(rt, spec, &taskrt.LoopStats{
+			Elapsed:         1,
+			NodeTaskSeconds: make([]float64, topo.NumNodes()),
+			NodeTasks:       make([]int, topo.NumNodes()),
+			StealsRemote:    remote,
+		})
+	}
+	feed(4) // every green migrated
+	if got := ls.strictFrac; got >= 0.9 {
+		t.Fatalf("strict fraction %g did not decrease under migration pressure", got)
+	}
+	// Sustained pressure hits the floor and stays there.
+	for i := 0; i < 20; i++ {
+		feed(99)
+	}
+	if ls.strictFrac != 0.25 {
+		t.Fatalf("strict fraction %g, want floor 0.25", ls.strictFrac)
+	}
+	// Partial migration (some greens moved, not all): no change.
+	before := ls.strictFrac
+	feed(1)
+	if ls.strictFrac != before {
+		t.Fatalf("partial migration changed fraction %g -> %g", before, ls.strictFrac)
+	}
+}
+
+// TestAdaptiveFractionEndToEnd exercises the feature through a full run on
+// an imbalanced loop; whatever it settles on, the adapted fraction must
+// stay within bounds and the run must complete correctly.
+func TestAdaptiveFractionEndToEnd(t *testing.T) {
+	opts := DefaultOptions()
+	opts.AdaptiveStrictFraction = true
+	s := New(opts)
+	rt := newRuntime(t, s, 45e9)
+	spec := imbalancedSpec(7)
+	prog := &taskrt.Program{Name: "i", Loops: []*taskrt.LoopSpec{spec}, Sequence: repeat(30, 0)}
+	res, err := rt.RunProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LoopExecutions != 30 {
+		t.Fatalf("ran %d loops, want 30", res.LoopExecutions)
+	}
+	if f := s.loops[spec.ID].strictFrac; f != 0 && (f < 0.25 || f > 1) {
+		t.Fatalf("adapted fraction %g out of bounds", f)
+	}
+}
+
+func TestAdaptiveFractionOffByDefault(t *testing.T) {
+	s := New(DefaultOptions())
+	rt := newRuntime(t, s, 45e9)
+	spec := imbalancedSpec(7)
+	prog := &taskrt.Program{Name: "i", Loops: []*taskrt.LoopSpec{spec}, Sequence: repeat(20, 0)}
+	if _, err := rt.RunProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	if ls := s.loops[spec.ID]; ls.strictFrac != 0 {
+		t.Fatalf("strict fraction adapted (%g) with the feature off", ls.strictFrac)
+	}
+}
+
+func TestAdaptiveFractionBoundedAbove(t *testing.T) {
+	// A balanced loop that still evaluates full policy: greens never
+	// migrate, so the fraction should climb toward 1 and stop there.
+	opts := DefaultOptions()
+	opts.AdaptiveStrictFraction = true
+	opts.StrictFraction = 0.8
+	s := New(opts)
+	ls := s.state(1, smallTopo())
+	ls.pending = Config{Threads: 16, StealFull: true}
+	ls.phase = PhaseSettled
+	ls.lastGreens = 4
+	for i := 0; i < 10; i++ {
+		st := &taskrt.LoopStats{
+			Elapsed:         1,
+			NodeTaskSeconds: make([]float64, smallTopo().NumNodes()),
+			NodeTasks:       make([]int, smallTopo().NumNodes()),
+			StealsRemote:    0,
+		}
+		s.Observe(newRuntime(t, s, 45e9), &taskrt.LoopSpec{ID: 1, Name: "x"}, st)
+	}
+	if ls.strictFrac != 1 {
+		t.Fatalf("strict fraction = %g after sustained zero migration, want 1", ls.strictFrac)
+	}
+}

@@ -1,0 +1,118 @@
+package ilan
+
+import (
+	"testing"
+
+	"github.com/ilan-sched/ilan/internal/taskrt"
+)
+
+// TestCounterGuidedSkipsExplorationForComputeLoops: a compute-bound loop
+// under counter-guided selection settles at full width after one execution
+// instead of probing narrow configurations.
+func TestCounterGuidedSkipsExplorationForComputeLoops(t *testing.T) {
+	opts := DefaultOptions()
+	opts.CounterGuided = true
+	s := New(opts)
+	rt := newRuntime(t, s, 45e9)
+	loop := computeLoop()
+	prog := &taskrt.Program{Name: "c", Loops: []*taskrt.LoopSpec{loop}, Sequence: repeat(10, 0)}
+	if _, err := rt.RunProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	tried := s.TriedConfigs(loop.ID)
+	if len(tried) != 1 {
+		t.Fatalf("counter-guided explored %d widths for a compute loop, want 1: %v",
+			len(tried), tried)
+	}
+	cfg, phase, _ := s.ChosenConfig(loop.ID)
+	if phase != PhaseSettled || cfg.Threads != rt.Topology().NumCores() {
+		t.Fatalf("not settled at full width: phase=%v cfg=%v", phase, cfg)
+	}
+}
+
+// TestCounterGuidedStillExploresMemoryLoops: a bandwidth-saturated loop
+// exceeds the intensity cutoff, so the search proceeds as usual and molds.
+func TestCounterGuidedStillExploresMemoryLoops(t *testing.T) {
+	opts := DefaultOptions()
+	opts.CounterGuided = true
+	s := New(opts)
+	rt := newRuntime(t, s, 20e9)
+	loop := gatherLoop(rt)
+	prog := &taskrt.Program{Name: "g", Loops: []*taskrt.LoopSpec{loop}, Sequence: repeat(30, 0)}
+	if _, err := rt.RunProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	tried := s.TriedConfigs(loop.ID)
+	if len(tried) < 2 {
+		t.Fatalf("counter-guided skipped exploration for a memory-bound loop: %v", tried)
+	}
+	cfg, _, _ := s.ChosenConfig(loop.ID)
+	if cfg.Threads >= rt.Topology().NumCores() {
+		t.Fatalf("memory-bound loop not molded: %v", cfg)
+	}
+}
+
+// TestCounterGuidedReducesExplorationCost: on a compute-bound loop the
+// counter-guided variant must be at least as fast end-to-end as the
+// standard search (it skips the slow narrow probes).
+func TestCounterGuidedReducesExplorationCost(t *testing.T) {
+	run := func(guided bool) float64 {
+		opts := DefaultOptions()
+		opts.CounterGuided = guided
+		s := New(opts)
+		rt := newRuntime(t, s, 45e9)
+		loop := computeLoop()
+		prog := &taskrt.Program{Name: "c", Loops: []*taskrt.LoopSpec{loop}, Sequence: repeat(12, 0)}
+		res, err := rt.RunProgram(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.Elapsed)
+	}
+	standard := run(false)
+	guided := run(true)
+	if guided >= standard {
+		t.Fatalf("counter-guided (%g) not faster than standard search (%g) on compute loop",
+			guided, standard)
+	}
+}
+
+func TestLoopStatsMemoryIntensity(t *testing.T) {
+	st := &taskrt.LoopStats{ComputeSeconds: 3, MemorySeconds: 1}
+	if got := st.MemoryIntensity(); got != 0.25 {
+		t.Fatalf("MemoryIntensity = %g, want 0.25", got)
+	}
+	empty := &taskrt.LoopStats{}
+	if empty.MemoryIntensity() != 0 {
+		t.Fatal("empty stats intensity not 0")
+	}
+}
+
+func TestRegretPositiveForComputeLoop(t *testing.T) {
+	// The standard search probes slow narrow configs on a compute-bound
+	// loop, so exploration regret must be positive.
+	s := New(DefaultOptions())
+	rt := newRuntime(t, s, 45e9)
+	loop := computeLoop()
+	prog := &taskrt.Program{Name: "c", Loops: []*taskrt.LoopSpec{loop}, Sequence: repeat(12, 0)}
+	if _, err := rt.RunProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	extra, mean, ok := s.Regret(loop.ID)
+	if !ok {
+		t.Fatal("no settled executions")
+	}
+	if mean <= 0 {
+		t.Fatalf("settled mean = %g", mean)
+	}
+	if extra <= 0 {
+		t.Fatalf("exploration regret = %g, want positive for compute loop", extra)
+	}
+}
+
+func TestRegretUnknownLoop(t *testing.T) {
+	s := New(DefaultOptions())
+	if _, _, ok := s.Regret(99); ok {
+		t.Fatal("unknown loop reported regret")
+	}
+}

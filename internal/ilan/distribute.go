@@ -1,0 +1,63 @@
+package ilan
+
+import (
+	"github.com/ilan-sched/ilan/internal/taskrt"
+	"github.com/ilan-sched/ilan/internal/topology"
+)
+
+// buildPlan turns a configuration into the hierarchical distribution plan:
+//
+//   - Tasks are mapped contiguously by task index onto the active nodes
+//     (node i receives tasks [i*T/N, (i+1)*T/N)), preserving the adjacency
+//     of loop iterations within a node — the paper's locality assumption.
+//   - Every task is initially enqueued on its node's primary thread; the
+//     node's other threads obtain work through intra-node stealing.
+//   - Under the strict steal policy every task is NUMA-strict. Under the
+//     full policy the leading StrictFraction of each node's tasks stays
+//     strict (yellow) and the tail is stealable across nodes (green).
+func (s *Scheduler) buildPlan(spec *taskrt.LoopSpec, topo *topology.Machine, cfg Config, strictFraction float64) *taskrt.Plan {
+	plan := &taskrt.Plan{
+		Active:         append([]int(nil), cfg.Cores...),
+		Mode:           taskrt.StealHierarchical,
+		InterNodeSteal: cfg.StealFull,
+		SelectOverheadSec: s.opts.SelectCostSec +
+			s.opts.SelectPerThreadSec*float64(len(cfg.Cores)) +
+			s.opts.PlacePerTaskSec*float64(spec.Tasks),
+	}
+
+	// Primary core per active node: the lowest-numbered active core there.
+	primary := make(map[int]int, len(cfg.Nodes))
+	for _, c := range cfg.Cores {
+		n := topo.NodeOfCore(c)
+		if p, ok := primary[n]; !ok || c < p {
+			primary[n] = c
+		}
+	}
+
+	nNodes := len(cfg.Nodes)
+	T := spec.Tasks
+	for t := 0; t < T; t++ {
+		nodeIdx := t * nNodes / T
+		if nodeIdx >= nNodes {
+			nodeIdx = nNodes - 1
+		}
+		node := cfg.Nodes[nodeIdx]
+		lo, hi := spec.ChunkBounds(t)
+
+		strict := true
+		if cfg.StealFull {
+			nodeStart := nodeIdx * T / nNodes
+			nodeEnd := (nodeIdx + 1) * T / nNodes
+			span := nodeEnd - nodeStart
+			strictCount := int(strictFraction * float64(span))
+			strict = (t - nodeStart) < strictCount
+		}
+		plan.Place = append(plan.Place, taskrt.TaskPlacement{
+			Lo:     lo,
+			Hi:     hi,
+			Core:   primary[node],
+			Strict: strict,
+		})
+	}
+	return plan
+}

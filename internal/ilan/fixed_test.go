@@ -1,0 +1,58 @@
+package ilan
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/ilan-sched/ilan/internal/taskrt"
+)
+
+func TestFixedThreadsPinsEveryLoop(t *testing.T) {
+	opts := DefaultOptions()
+	opts.FixedThreads = 8
+	opts.FixedStealFull = true
+	s := New(opts)
+	rt := newRuntime(t, s, 45e9)
+	loop := computeLoop()
+	prog := &taskrt.Program{Name: "c", Loops: []*taskrt.LoopSpec{loop}, Sequence: repeat(6, 0)}
+	res, err := rt.RunProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WeightedAvgThreads != 8 {
+		t.Fatalf("WeightedAvgThreads = %g, want exactly 8", res.WeightedAvgThreads)
+	}
+	cfg, phase, _ := s.ChosenConfig(loop.ID)
+	if phase != PhaseSettled || cfg.Threads != 8 || !cfg.StealFull {
+		t.Fatalf("cfg = %v phase = %v", cfg, phase)
+	}
+	if len(s.TriedConfigs(loop.ID)) != 0 {
+		t.Fatal("fixed mode populated the exploration table")
+	}
+	if !strings.HasPrefix(s.Name(), "ilan-fixed-8-full") {
+		t.Fatalf("Name = %q", s.Name())
+	}
+}
+
+func TestFixedThreadsNoExplorationCost(t *testing.T) {
+	// Fixed at full width must beat the searching scheduler on a
+	// compute-bound loop over few iterations (no narrow probes).
+	run := func(fixed int) float64 {
+		opts := DefaultOptions()
+		opts.FixedThreads = fixed
+		s := New(opts)
+		rt := newRuntime(t, s, 45e9)
+		loop := computeLoop()
+		prog := &taskrt.Program{Name: "c", Loops: []*taskrt.LoopSpec{loop}, Sequence: repeat(10, 0)}
+		res, err := rt.RunProgram(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.Elapsed)
+	}
+	searching := run(0) // 0 = search enabled
+	fixedFull := run(16)
+	if fixedFull >= searching {
+		t.Fatalf("fixed full width (%g) not faster than searching (%g)", fixedFull, searching)
+	}
+}

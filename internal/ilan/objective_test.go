@@ -1,0 +1,79 @@
+package ilan
+
+import (
+	"testing"
+
+	"github.com/ilan-sched/ilan/internal/taskrt"
+)
+
+func TestObjectiveString(t *testing.T) {
+	if ObjectiveTime.String() != "time" || ObjectiveEnergy.String() != "energy" ||
+		ObjectiveEDP.String() != "edp" || Objective(9).String() == "" {
+		t.Fatal("objective names wrong")
+	}
+}
+
+func TestObjectiveScores(t *testing.T) {
+	st := &taskrt.LoopStats{Elapsed: 2, EnergyJoules: 10}
+	if ObjectiveTime.score(st) != 2 {
+		t.Fatal("time score wrong")
+	}
+	if ObjectiveEnergy.score(st) != 10 {
+		t.Fatal("energy score wrong")
+	}
+	if ObjectiveEDP.score(st) != 20 {
+		t.Fatal("edp score wrong")
+	}
+}
+
+// TestEnergyObjectiveMoldsAtLeastAsNarrow: energy accounting charges active
+// cores, so for a loop whose time optimum is below full width the energy
+// optimum can only be the same or narrower.
+func TestEnergyObjectiveMoldsAtLeastAsNarrow(t *testing.T) {
+	chosen := func(obj Objective) int {
+		opts := DefaultOptions()
+		opts.Objective = obj
+		s := New(opts)
+		rt := newRuntime(t, s, 20e9)
+		loop := gatherLoop(rt)
+		prog := &taskrt.Program{Name: "g", Loops: []*taskrt.LoopSpec{loop}, Sequence: repeat(30, 0)}
+		if _, err := rt.RunProgram(prog); err != nil {
+			t.Fatal(err)
+		}
+		cfg, phase, ok := s.ChosenConfig(loop.ID)
+		if !ok || phase != PhaseSettled {
+			t.Fatalf("objective %v: not settled", obj)
+		}
+		return cfg.Threads
+	}
+	timeThreads := chosen(ObjectiveTime)
+	energyThreads := chosen(ObjectiveEnergy)
+	if energyThreads > timeThreads {
+		t.Fatalf("energy objective chose wider (%d) than time objective (%d)",
+			energyThreads, timeThreads)
+	}
+}
+
+func TestHistoryRecordsScore(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Objective = ObjectiveEnergy
+	s := New(opts)
+	rt := newRuntime(t, s, 45e9)
+	loop := computeLoop()
+	prog := &taskrt.Program{Name: "c", Loops: []*taskrt.LoopSpec{loop}, Sequence: repeat(5, 0)}
+	if _, err := rt.RunProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	hist := s.History(loop.ID)
+	if len(hist) != 5 {
+		t.Fatalf("history has %d records, want 5", len(hist))
+	}
+	for _, rec := range hist {
+		if rec.Score <= 0 || rec.ElapsedSec <= 0 {
+			t.Fatalf("bad record: %+v", rec)
+		}
+		if rec.Score == rec.ElapsedSec {
+			t.Fatalf("energy score identical to elapsed: %+v", rec)
+		}
+	}
+}

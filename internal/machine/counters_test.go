@@ -1,0 +1,128 @@
+package machine
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/ilan-sched/ilan/internal/memsys"
+	"github.com/ilan-sched/ilan/internal/topology"
+)
+
+func TestCountersComputeOnly(t *testing.T) {
+	m := quietMachine(t)
+	m.Exec(0, 2, nil, func() {})
+	if err := m.Engine().Run(); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Counters()
+	if c.Tasks != 1 {
+		t.Fatalf("Tasks = %d", c.Tasks)
+	}
+	if math.Abs(c.ComputeSeconds-2) > 1e-9 {
+		t.Fatalf("ComputeSeconds = %g", c.ComputeSeconds)
+	}
+	if c.MemorySeconds > 1e-9 {
+		t.Fatalf("MemorySeconds = %g for compute-only task", c.MemorySeconds)
+	}
+	if c.MemoryIntensity() != 0 {
+		t.Fatalf("MemoryIntensity = %g", c.MemoryIntensity())
+	}
+	if c.TotalBytes() != 0 {
+		t.Fatalf("TotalBytes = %g", c.TotalBytes())
+	}
+}
+
+func TestCountersMemoryTask(t *testing.T) {
+	m := quietMachine(t)
+	r := m.Memory().NewRegion("a", 16*memsys.BlockSize)
+	r.PlaceOnNode(0)
+	m.Exec(0, 0.001, []memsys.Access{{Region: r, Offset: 0, Bytes: 8 * memsys.BlockSize, Pattern: memsys.Stream}},
+		func() {})
+	if err := m.Engine().Run(); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Counters()
+	want := float64(8 * memsys.BlockSize)
+	if math.Abs(c.ResourceBytes[0]-want) > 1 {
+		t.Fatalf("ResourceBytes[0] = %g, want %g", c.ResourceBytes[0], want)
+	}
+	if c.MemorySeconds <= 0 {
+		t.Fatal("MemorySeconds not positive for memory task")
+	}
+	if mi := c.MemoryIntensity(); mi <= 0.5 {
+		t.Fatalf("MemoryIntensity = %g, want > 0.5 for bandwidth-bound task", mi)
+	}
+	if c.CacheMisses == 0 {
+		t.Fatal("no cache misses recorded")
+	}
+}
+
+func TestCountersCacheHitRate(t *testing.T) {
+	m := quietMachine(t)
+	r := m.Memory().NewRegion("a", memsys.BlockSize)
+	r.PlaceOnNode(0)
+	acc := []memsys.Access{{Region: r, Offset: 0, Bytes: memsys.BlockSize, Pattern: memsys.Stream}}
+	m.Exec(0, 0, acc, func() {
+		m.Exec(0, 0, acc, func() {})
+	})
+	if err := m.Engine().Run(); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Counters()
+	if c.CacheHitRate() != 0.5 {
+		t.Fatalf("CacheHitRate = %g, want 0.5", c.CacheHitRate())
+	}
+}
+
+func TestCountersSnapshotIsolated(t *testing.T) {
+	m := quietMachine(t)
+	c1 := m.Counters()
+	c1.ResourceBytes[0] = 123456
+	if m.Counters().ResourceBytes[0] == 123456 {
+		t.Fatal("snapshot shares backing array with machine state")
+	}
+}
+
+func TestCountersFormat(t *testing.T) {
+	m := quietMachine(t)
+	r := m.Memory().NewRegion("a", 4*memsys.BlockSize)
+	r.PlaceOnNode(1)
+	m.Exec(0, 0.01, []memsys.Access{{Region: r, Offset: 0, Bytes: 2 * memsys.BlockSize, Pattern: memsys.Stream}},
+		func() {})
+	if err := m.Engine().Run(); err != nil {
+		t.Fatal(err)
+	}
+	out := m.Counters().Format(m.Resources())
+	if !strings.Contains(out, "mc1") {
+		t.Fatalf("Format missing controller row:\n%s", out)
+	}
+	if !strings.Contains(out, "tasks=1") {
+		t.Fatalf("Format missing task count:\n%s", out)
+	}
+}
+
+func TestDisabledCacheNeverHits(t *testing.T) {
+	m := New(Config{
+		Topo:      topology.MustNew(topology.SmallTest()),
+		Seed:      1,
+		Noise:     NoiseConfig{},
+		Alpha:     -1,
+		DisableL3: true,
+	})
+	r := m.Memory().NewRegion("a", memsys.BlockSize)
+	r.PlaceOnNode(0)
+	acc := []memsys.Access{{Region: r, Offset: 0, Bytes: memsys.BlockSize, Pattern: memsys.Stream}}
+	m.Exec(0, 0, acc, func() {
+		m.Exec(0, 0, acc, func() {})
+	})
+	if err := m.Engine().Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Counters().CacheHitRate(); got != 0 {
+		t.Fatalf("disabled cache hit rate = %g", got)
+	}
+	if !m.Caches().Disabled() {
+		t.Fatal("Disabled() false")
+	}
+}

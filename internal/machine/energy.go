@@ -1,0 +1,56 @@
+package machine
+
+import "github.com/ilan-sched/ilan/internal/memsys"
+
+// EnergyModel prices the machine's activity in joules. The paper's future
+// work proposes driving the PTT by metrics other than execution time, such
+// as energy efficiency [JOSS, SWEEP]; this model provides the measurement
+// those objectives need. Defaults follow server-class Zen 4 figures: a few
+// watts per active core, an idle floor, a per-node uncore/fabric share, and
+// DRAM access energy per byte.
+type EnergyModel struct {
+	CoreActiveWatts   float64 // per core while executing a task
+	CoreIdleWatts     float64 // per core while idle
+	UncoreWatts       float64 // per NUMA node, always on (fabric, caches, IO)
+	DRAMJoulesPerByte float64
+}
+
+// DefaultEnergy returns the calibration used by the energy experiments.
+func DefaultEnergy() EnergyModel {
+	return EnergyModel{
+		CoreActiveWatts:   5.0,
+		CoreIdleWatts:     1.2,
+		UncoreWatts:       9.0,
+		DRAMJoulesPerByte: 25e-12,
+	}
+}
+
+// EnergyJoules returns the energy consumed by the machine from time zero to
+// the current virtual time under the given model: active/idle core energy,
+// uncore energy, and DRAM traffic energy.
+func (m *Machine) EnergyJoules(em EnergyModel) float64 {
+	now := float64(m.eng.Now())
+	var active float64
+	for c := range m.busySeconds {
+		active += m.busySeconds[c]
+		// Include time accrued by the task currently in flight.
+		if ft := m.running[c]; ft != nil {
+			active += now - float64(ft.started)
+		}
+	}
+	totalCoreTime := now * float64(m.topo.NumCores())
+	idle := totalCoreTime - active
+	if idle < 0 {
+		idle = 0
+	}
+	var dramBytes float64
+	for r, b := range m.counters.ResourceBytes {
+		if m.res.IsController(memsys.ResourceID(r)) {
+			dramBytes += b
+		}
+	}
+	return active*em.CoreActiveWatts +
+		idle*em.CoreIdleWatts +
+		now*float64(m.topo.NumNodes())*em.UncoreWatts +
+		dramBytes*em.DRAMJoulesPerByte
+}

@@ -1,0 +1,90 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ilan-sched/ilan/internal/memsys"
+)
+
+func TestEnergyIdleMachine(t *testing.T) {
+	m := quietMachine(t) // 16 cores, 4 nodes
+	m.Engine().After(10, func() {})
+	if err := m.Engine().Run(); err != nil {
+		t.Fatal(err)
+	}
+	em := DefaultEnergy()
+	got := m.EnergyJoules(em)
+	want := 10*16*em.CoreIdleWatts + 10*4*em.UncoreWatts
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("idle energy = %g, want %g", got, want)
+	}
+}
+
+func TestEnergyActiveCoreCostsMore(t *testing.T) {
+	em := DefaultEnergy()
+	run := func(busy bool) float64 {
+		m := quietMachine(t)
+		if busy {
+			m.Exec(0, 10, nil, func() {})
+		} else {
+			m.Engine().After(10, func() {})
+		}
+		if err := m.Engine().Run(); err != nil {
+			t.Fatal(err)
+		}
+		return m.EnergyJoules(em)
+	}
+	idle, active := run(false), run(true)
+	wantDelta := 10 * (em.CoreActiveWatts - em.CoreIdleWatts)
+	if math.Abs((active-idle)-wantDelta) > 1e-6 {
+		t.Fatalf("active-idle delta = %g, want %g", active-idle, wantDelta)
+	}
+}
+
+func TestEnergyDRAMTraffic(t *testing.T) {
+	em := EnergyModel{DRAMJoulesPerByte: 1e-9} // isolate the traffic term
+	m := quietMachine(t)
+	r := m.Memory().NewRegion("a", 8*memsys.BlockSize)
+	r.PlaceOnNode(0)
+	m.Exec(0, 0, []memsys.Access{{Region: r, Offset: 0, Bytes: 4 * memsys.BlockSize, Pattern: memsys.Stream}},
+		func() {})
+	if err := m.Engine().Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := m.EnergyJoules(em)
+	want := float64(4*memsys.BlockSize) * 1e-9
+	if math.Abs(got-want) > want*1e-9 {
+		t.Fatalf("DRAM energy = %g, want %g", got, want)
+	}
+}
+
+func TestEnergyCountsInFlightTask(t *testing.T) {
+	em := EnergyModel{CoreActiveWatts: 1}
+	m := quietMachine(t)
+	m.Exec(0, 10, nil, func() {})
+	if err := m.Engine().RunUntil(4); err != nil {
+		t.Fatal(err)
+	}
+	got := m.EnergyJoules(em)
+	if math.Abs(got-4) > 1e-9 {
+		t.Fatalf("mid-flight energy = %g, want 4", got)
+	}
+}
+
+func TestEnergyMonotoneInTime(t *testing.T) {
+	em := DefaultEnergy()
+	m := quietMachine(t)
+	m.Exec(0, 5, nil, func() {})
+	if err := m.Engine().RunUntil(2); err != nil {
+		t.Fatal(err)
+	}
+	early := m.EnergyJoules(em)
+	if err := m.Engine().Run(); err != nil {
+		t.Fatal(err)
+	}
+	late := m.EnergyJoules(em)
+	if late <= early {
+		t.Fatalf("energy not monotone: %g then %g", early, late)
+	}
+}

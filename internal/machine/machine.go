@@ -1,0 +1,479 @@
+// Package machine executes tasks on the simulated NUMA hardware. It ties
+// the discrete-event engine, topology, and memory system together with a
+// fluid contention model:
+//
+// A running task is a fluid job with a remaining compute component
+// (private, runs at the core's speed) and remaining byte components on
+// each bandwidth resource (shared). Compute runs first; the memory
+// components then drain in parallel (a task pulls from several controllers
+// at once), so at any instant the task's remaining time is
+//
+//	T = compute/coreSpeed + max( ctrlBytes/CoreStreamBW,
+//	                             max_r bytes_r * svc_r / (w_r * EffBW(r, load_r)) )
+//
+// where w_r is the task's byte fraction on resource r, svc_r the sum of
+// such fractions over all running tasks (fair-share split), and load_r the
+// queue-pressure-weighted load that degrades the resource's delivered
+// bandwidth (see memsys.EffectiveBandwidth). The first max term is the
+// core's aggregate memory port: one core cannot move controller bytes
+// faster than CoreStreamBW no matter how many controllers serve it.
+//
+// All components drain proportionally, so the task finishes exactly when T
+// elapses. Whenever a task starts or finishes, the loads on its resources
+// change; every task sharing those resources is advanced to the current
+// time and its completion event rescheduled. This is event-driven
+// processor sharing: exact for the fluid model, with cost proportional to
+// the number of co-running tasks rather than to bytes moved. The
+// verification test suite checks the implementation against closed forms
+// of this model.
+package machine
+
+import (
+	"fmt"
+
+	"github.com/ilan-sched/ilan/internal/memsys"
+	"github.com/ilan-sched/ilan/internal/sim"
+	"github.com/ilan-sched/ilan/internal/topology"
+)
+
+// NoiseConfig controls the stochastic components that give run-to-run
+// variance, mirroring the sources the paper attributes its variability to:
+// dynamic frequency asymmetry, task-length jitter, and rare system-noise
+// episodes (their BT outlier).
+type NoiseConfig struct {
+	Enabled bool
+	// CoreSpeedSigma: each core's speed is drawn once per run from
+	// N(1, sigma), clamped to [0.7, 1.3].
+	CoreSpeedSigma float64
+	// TaskJitterSigma: every task execution is scaled by N(1, sigma),
+	// clamped to [0.5, 2].
+	TaskJitterSigma float64
+	// OutlierProb: per-run probability that one NUMA node runs slow for
+	// the whole run (external noise / frequency scaling).
+	OutlierProb float64
+	// OutlierSlowdown: speed factor applied to the slow node's cores.
+	OutlierSlowdown float64
+}
+
+// DefaultNoise returns the calibration used by the experiments.
+func DefaultNoise() NoiseConfig {
+	return NoiseConfig{
+		Enabled:         true,
+		CoreSpeedSigma:  0.015,
+		TaskJitterSigma: 0.03,
+		OutlierProb:     0.05,
+		OutlierSlowdown: 0.85,
+	}
+}
+
+// Config assembles a machine.
+type Config struct {
+	Topo  *topology.Machine
+	Seed  uint64
+	Noise NoiseConfig
+	// Bandwidth overrides; zero values keep memsys defaults.
+	ControllerBW float64
+	LinkBW       float64
+	CoreStreamBW float64
+	Alpha        float64 // negative means "use default"; 0 is a valid override
+	// Beta: 0 keeps the default, positive overrides, negative forces 0
+	// (disables the quadratic contention term).
+	Beta float64
+	// DisableL3 switches the cache model off (ablation experiments).
+	DisableL3 bool
+}
+
+// Machine is one simulated run's hardware instance. It is not safe for
+// concurrent use; the simulation is single-threaded.
+type Machine struct {
+	eng      *sim.Engine
+	topo     *topology.Machine
+	mem      *memsys.Memory
+	res      *memsys.ResourceSet
+	caches   *memsys.CacheSet
+	resolver *memsys.Resolver
+
+	rng       *sim.RNG
+	noise     NoiseConfig
+	coreSpeed []float64
+
+	running      []*fluidTask   // by core; nil when idle
+	byResource   [][]*fluidTask // active tasks per resource
+	load         []float64      // queue-pressure load per resource (drives efficiency)
+	svc          []float64      // service-weight sum per resource (drives fair shares)
+	externalLoad []float64      // sustained interferer load (DisturbNode)
+
+	busySeconds  []float64 // per-core task execution time
+	tasksStarted uint64
+	demand       memsys.Demand // scratch buffer
+	counters     Counters
+}
+
+type fluidTask struct {
+	core       int
+	compute    float64 // remaining compute seconds (at unit speed)
+	compute0   float64 // initial compute seconds (for counter accounting)
+	bytes      []float64
+	weight     []float64 // byte fraction of the task's traffic per resource
+	loadW      []float64 // queue-pressure-scaled load contribution per resource
+	resIdx     []int     // resources with initially positive bytes
+	started    sim.Time
+	lastUpdate sim.Time
+	remaining  float64 // cached T at lastUpdate
+	handle     sim.Handle
+	done       func()
+}
+
+// New builds a machine over a fresh engine.
+func New(cfg Config) *Machine {
+	if cfg.Topo == nil {
+		panic("machine: nil topology")
+	}
+	m := &Machine{
+		eng:   sim.NewEngine(),
+		topo:  cfg.Topo,
+		noise: cfg.Noise,
+		rng:   sim.NewRNG(cfg.Seed),
+	}
+	m.mem = memsys.NewMemory(cfg.Topo)
+	m.res = memsys.NewResourceSet(cfg.Topo)
+	if cfg.ControllerBW > 0 {
+		m.res.ControllerBW = cfg.ControllerBW
+	}
+	if cfg.LinkBW > 0 {
+		m.res.LinkBW = cfg.LinkBW
+	}
+	if cfg.CoreStreamBW > 0 {
+		m.res.CoreStreamBW = cfg.CoreStreamBW
+	}
+	if cfg.Alpha >= 0 {
+		m.res.Alpha = cfg.Alpha
+	}
+	if cfg.Beta > 0 {
+		m.res.Beta = cfg.Beta
+	} else if cfg.Beta < 0 {
+		m.res.Beta = 0
+	}
+	if cfg.DisableL3 {
+		m.caches = memsys.NewDisabledCacheSet(cfg.Topo)
+	} else {
+		m.caches = memsys.NewCacheSet(cfg.Topo)
+	}
+	m.resolver = memsys.NewResolver(cfg.Topo, m.res, m.caches)
+
+	nc := cfg.Topo.NumCores()
+	m.running = make([]*fluidTask, nc)
+	m.busySeconds = make([]float64, nc)
+	m.byResource = make([][]*fluidTask, m.res.Count())
+	m.load = make([]float64, m.res.Count())
+	m.svc = make([]float64, m.res.Count())
+	m.externalLoad = make([]float64, m.res.Count())
+	m.coreSpeed = make([]float64, nc)
+	m.counters.ResourceBytes = make([]float64, m.res.Count())
+	m.drawCoreSpeeds()
+	return m
+}
+
+func (m *Machine) drawCoreSpeeds() {
+	for c := range m.coreSpeed {
+		m.coreSpeed[c] = 1
+	}
+	if !m.noise.Enabled {
+		return
+	}
+	for c := range m.coreSpeed {
+		s := 1 + m.noise.CoreSpeedSigma*m.rng.Normal()
+		if s < 0.7 {
+			s = 0.7
+		}
+		if s > 1.3 {
+			s = 1.3
+		}
+		m.coreSpeed[c] = s
+	}
+	if m.rng.Float64() < m.noise.OutlierProb {
+		slow := m.rng.Intn(m.topo.NumNodes())
+		for _, c := range m.topo.CoresOfNode(slow) {
+			m.coreSpeed[c] *= m.noise.OutlierSlowdown
+		}
+	}
+}
+
+// Engine returns the simulation engine driving this machine.
+func (m *Machine) Engine() *sim.Engine { return m.eng }
+
+// Topology returns the machine's topology.
+func (m *Machine) Topology() *topology.Machine { return m.topo }
+
+// Memory returns the machine's memory system (for region allocation).
+func (m *Machine) Memory() *memsys.Memory { return m.mem }
+
+// Resources returns the bandwidth resource set (for calibration tweaks).
+func (m *Machine) Resources() *memsys.ResourceSet { return m.res }
+
+// Caches returns the L3 cache models.
+func (m *Machine) Caches() *memsys.CacheSet { return m.caches }
+
+// RNG returns the machine's root RNG (layers derive their own streams).
+func (m *Machine) RNG() *sim.RNG { return m.rng }
+
+// CoreSpeed returns the per-run speed factor of a core.
+func (m *Machine) CoreSpeed(core int) float64 { return m.coreSpeed[core] }
+
+// BusySeconds returns total task-execution seconds charged to a core.
+func (m *Machine) BusySeconds(core int) float64 { return m.busySeconds[core] }
+
+// TasksStarted returns the number of Exec calls.
+func (m *Machine) TasksStarted() uint64 { return m.tasksStarted }
+
+// Busy reports whether a core is currently executing a task.
+func (m *Machine) Busy(core int) bool { return m.running[core] != nil }
+
+// Quiesced reports whether the machine has no running tasks and all
+// resource load accounting has returned to zero — the invariant that must
+// hold after every completed run (float drift aside).
+func (m *Machine) Quiesced() bool {
+	for _, ft := range m.running {
+		if ft != nil {
+			return false
+		}
+	}
+	for r := range m.load {
+		if m.load[r]-m.externalLoad[r] > 1e-9 || m.svc[r] > 1e-9 {
+			return false
+		}
+		if len(m.byResource[r]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// DisturbNode injects a sustained external interferer on a NUMA node: an
+// unrelated co-located workload that slows the node's cores by the given
+// factor (CPU time stolen) and occupies its memory controller with the
+// given queue-pressure load (bandwidth stolen). This models the "dynamic
+// performance asymmetry caused by … interference from unrelated workloads"
+// that motivates ILAN's node-mask selection: the disturbed node measures
+// slower in the PTT, and reduced-width configurations avoid it.
+//
+// Call before (or between) runs; the disturbance persists until the
+// machine is discarded.
+func (m *Machine) DisturbNode(node int, coreSlowdown, memLoad float64) {
+	if node < 0 || node >= m.topo.NumNodes() {
+		panic(fmt.Sprintf("machine: DisturbNode(%d) out of range", node))
+	}
+	if coreSlowdown <= 0 || coreSlowdown > 1 {
+		panic(fmt.Sprintf("machine: core slowdown %g out of (0, 1]", coreSlowdown))
+	}
+	if memLoad < 0 {
+		panic(fmt.Sprintf("machine: negative memory load %g", memLoad))
+	}
+	for _, c := range m.topo.CoresOfNode(node) {
+		m.coreSpeed[c] *= coreSlowdown
+	}
+	ctrl := int(m.res.Controller(node))
+	m.load[ctrl] += memLoad
+	m.externalLoad[ctrl] += memLoad
+}
+
+// Exec begins executing a task on the given core: computeSec seconds of
+// private compute plus the memory traffic implied by accesses. done fires
+// at completion. Exec panics if the core is already busy — the runtime
+// above must serialize work per core.
+func (m *Machine) Exec(core int, computeSec float64, accesses []memsys.Access, done func()) {
+	if m.running[core] != nil {
+		panic(fmt.Sprintf("machine: core %d already busy", core))
+	}
+	if computeSec < 0 {
+		panic(fmt.Sprintf("machine: negative compute %g", computeSec))
+	}
+	m.tasksStarted++
+	m.resolver.Resolve(core, accesses, &m.demand)
+
+	jitter := 1.0
+	if m.noise.Enabled && m.noise.TaskJitterSigma > 0 {
+		jitter = 1 + m.noise.TaskJitterSigma*m.rng.Normal()
+		if jitter < 0.5 {
+			jitter = 0.5
+		}
+		if jitter > 2 {
+			jitter = 2
+		}
+	}
+
+	ft := &fluidTask{
+		core:       core,
+		compute:    (computeSec + m.demand.CacheSeconds) * jitter,
+		started:    m.eng.Now(),
+		lastUpdate: m.eng.Now(),
+		done:       done,
+	}
+	ft.compute0 = ft.compute
+	m.counters.Tasks++
+	m.counters.ComputeSeconds += ft.compute
+	for r, b := range m.demand.ResBytes {
+		m.counters.ResourceBytes[r] += b
+	}
+	var totalBytes float64
+	for r, b := range m.demand.ResBytes {
+		if b > 0 {
+			ft.resIdx = append(ft.resIdx, r)
+			if ft.bytes == nil {
+				ft.bytes = make([]float64, len(m.demand.ResBytes))
+				ft.weight = make([]float64, len(m.demand.ResBytes))
+				ft.loadW = make([]float64, len(m.demand.ResBytes))
+			}
+			ft.bytes[r] = b * jitter
+			totalBytes += b
+		}
+	}
+	for _, r := range ft.resIdx {
+		ft.weight[r] = m.demand.ResBytes[r] / totalBytes
+		// The load contribution scales the byte fraction by the pattern's
+		// queue pressure: irregular traffic congests a controller more per
+		// byte than it consumes in service share.
+		ft.loadW[r] = m.demand.ResLoad[r] / totalBytes
+	}
+	m.running[core] = ft
+
+	// Register the task's load, then refresh every task sharing a resource
+	// whose population changed (including the new task itself).
+	affected := m.collectAffected(ft)
+	for _, r := range ft.resIdx {
+		m.load[r] += ft.loadW[r]
+		m.svc[r] += ft.weight[r]
+		m.byResource[r] = append(m.byResource[r], ft)
+	}
+	for _, t := range affected {
+		m.refresh(t)
+	}
+	m.refresh(ft)
+}
+
+// collectAffected returns the distinct running tasks (other than ft) that
+// share at least one resource with ft.
+func (m *Machine) collectAffected(ft *fluidTask) []*fluidTask {
+	var out []*fluidTask
+	seen := map[*fluidTask]bool{ft: true}
+	for _, r := range ft.resIdx {
+		for _, t := range m.byResource[r] {
+			if !seen[t] {
+				seen[t] = true
+				out = append(out, t)
+			}
+		}
+	}
+	return out
+}
+
+// remainingTime computes T for a task under current resource loads:
+// compute runs first at the core's speed; the memory components then drain
+// in parallel (a task can pull from several controllers at once), so memory
+// time is the maximum over per-resource times — additionally floored by the
+// core's aggregate "port" rate (a single core cannot move controller bytes
+// faster than CoreStreamBW no matter how many controllers serve it).
+//
+// On resource r the task receives the service-weighted fair share of the
+// bandwidth the resource delivers under its current queue-pressure load:
+// rate = EffectiveBandwidth(r, load_r) * w/svc_r, so its service time there
+// is bytes * svc_r / (w * EffBW(load_r)).
+func (m *Machine) remainingTime(ft *fluidTask) float64 {
+	t := ft.compute / m.coreSpeed[ft.core]
+	var memMax, ctrlBytes float64
+	for _, r := range ft.resIdx {
+		b := ft.bytes[r]
+		if b <= 0 {
+			continue
+		}
+		if m.res.IsController(memsys.ResourceID(r)) {
+			ctrlBytes += b
+		}
+		w := ft.weight[r]
+		svc := m.svc[r]
+		if svc < w {
+			svc = w // numerical guard: a task is always part of the share sum
+		}
+		load := m.load[r]
+		if load < ft.loadW[r] {
+			load = ft.loadW[r]
+		}
+		rate := m.res.EffectiveBandwidth(memsys.ResourceID(r), load) * w / svc
+		if mt := b / rate; mt > memMax {
+			memMax = mt
+		}
+	}
+	if port := ctrlBytes / m.res.CoreStreamBW; port > memMax {
+		memMax = port
+	}
+	return t + memMax
+}
+
+// advance drains a task's remaining components proportionally up to now.
+func (m *Machine) advance(ft *fluidTask, now sim.Time) {
+	dt := float64(now - ft.lastUpdate)
+	ft.lastUpdate = now
+	if dt <= 0 || ft.remaining <= 0 {
+		return
+	}
+	frac := dt / ft.remaining
+	if frac >= 1 {
+		frac = 1
+	}
+	keep := 1 - frac
+	ft.compute *= keep
+	for _, r := range ft.resIdx {
+		ft.bytes[r] *= keep
+	}
+}
+
+// refresh advances a task to now under the rates that were in effect,
+// recomputes its remaining time under the new rates, and reschedules its
+// completion event.
+func (m *Machine) refresh(ft *fluidTask) {
+	now := m.eng.Now()
+	m.advance(ft, now)
+	ft.remaining = m.remainingTime(ft)
+	ft.handle.Cancel()
+	ft.handle = m.eng.After(sim.Duration(ft.remaining), func() { m.complete(ft) })
+}
+
+func (m *Machine) complete(ft *fluidTask) {
+	now := m.eng.Now()
+	m.busySeconds[ft.core] += float64(now - ft.started)
+	if memSec := float64(now-ft.started) - ft.compute0/m.coreSpeed[ft.core]; memSec > 0 {
+		m.counters.MemorySeconds += memSec
+	}
+	m.running[ft.core] = nil
+	for _, r := range ft.resIdx {
+		m.load[r] -= ft.loadW[r]
+		m.svc[r] -= ft.weight[r]
+		if m.load[r] < m.externalLoad[r] {
+			m.load[r] = m.externalLoad[r] // float drift guard
+		}
+		if m.svc[r] < 0 {
+			m.svc[r] = 0
+		}
+		m.byResource[r] = removeTask(m.byResource[r], ft)
+	}
+	for _, t := range m.collectAffected(ft) {
+		m.refresh(t)
+	}
+	// Clear resources before the callback so the callback can Exec on the
+	// same core immediately.
+	done := ft.done
+	ft.done = nil
+	if done != nil {
+		done()
+	}
+}
+
+func removeTask(s []*fluidTask, ft *fluidTask) []*fluidTask {
+	for i, t := range s {
+		if t == ft {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	panic("machine: task not found on resource list")
+}

@@ -1,0 +1,87 @@
+package memsys
+
+import "fmt"
+
+// Pattern classifies how an access walks memory. The pattern controls cache
+// behaviour and the spread of traffic across controllers.
+type Pattern uint8
+
+const (
+	// Stream is a unit-stride walk over [Offset, Offset+Bytes): full cache
+	// lines used, traffic goes to the home controllers of that range.
+	Stream Pattern = iota
+	// Gather is an irregular, data-dependent walk (sparse matvec, indirect
+	// indexing). Cache-line utilization is poor, so more raw traffic moves
+	// per useful byte, and the traffic spreads over the home nodes of the
+	// whole declared range rather than a contiguous slice of it.
+	Gather
+	// Transpose is a strided all-to-all pattern (FFT transposes): full
+	// lines but traffic spread across the entire region like Gather.
+	Transpose
+)
+
+// String returns the pattern name.
+func (p Pattern) String() string {
+	switch p {
+	case Stream:
+		return "stream"
+	case Gather:
+		return "gather"
+	case Transpose:
+		return "transpose"
+	default:
+		return fmt.Sprintf("pattern(%d)", uint8(p))
+	}
+}
+
+// gatherLineUtilization is the fraction of each fetched cache line that a
+// Gather access actually uses; raw traffic is inflated by its inverse.
+const gatherLineUtilization = 0.25
+
+// QueuePressure returns the controller queue-occupancy multiplier of the
+// pattern: irregular traffic occupies DRAM bank queues far longer per byte
+// than a unit-stride stream (every access is a row-buffer miss with bank
+// conflicts and no prefetch coverage), so it contributes proportionally
+// more to the contention load of a resource.
+func (p Pattern) QueuePressure() float64 {
+	switch p {
+	case Gather:
+		return 8
+	case Transpose:
+		return 3
+	default:
+		return 1
+	}
+}
+
+// Access describes one region touch by a task.
+type Access struct {
+	Region *Region
+	Offset int64 // start of the touched range
+	Bytes  int64 // useful bytes the task reads/writes in the range
+	// Span widens the address range the bytes are drawn from (Span >=
+	// Bytes). A Gather over a large sparse matrix touches few bytes spread
+	// over a big span. Zero means Span = Bytes.
+	Span    int64
+	Pattern Pattern
+}
+
+func (a Access) span() int64 {
+	if a.Span > a.Bytes {
+		return a.Span
+	}
+	return a.Bytes
+}
+
+func (a Access) validate() error {
+	switch {
+	case a.Region == nil:
+		return fmt.Errorf("memsys: access with nil region")
+	case a.Bytes < 0:
+		return fmt.Errorf("memsys: access with negative bytes %d", a.Bytes)
+	case a.Offset < 0 || a.Offset+a.span() > a.Region.Size():
+		return fmt.Errorf("memsys: access [%d, %d) outside region %q (size %d)",
+			a.Offset, a.Offset+a.span(), a.Region.Name(), a.Region.Size())
+	}
+	return nil
+}

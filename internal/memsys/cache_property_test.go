@@ -1,0 +1,94 @@
+package memsys
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// refLRU is an obviously-correct reference implementation of a
+// fixed-capacity LRU set, used to cross-check the optimized ccdCache.
+type refLRU struct {
+	capacity int
+	order    []blockKey // least-recently-used first
+}
+
+func (r *refLRU) touch(k blockKey) bool {
+	for i, e := range r.order {
+		if e == k {
+			r.order = append(append(append([]blockKey{}, r.order[:i]...), r.order[i+1:]...), k)
+			return true
+		}
+	}
+	r.order = append(r.order, k)
+	if len(r.order) > r.capacity {
+		r.order = r.order[1:]
+	}
+	return false
+}
+
+// TestPropertyCacheMatchesReference drives both implementations with the
+// same random access stream and requires identical hit/miss behaviour.
+func TestPropertyCacheMatchesReference(t *testing.T) {
+	f := func(capRaw uint8, stream []uint8) bool {
+		capacity := 1 + int(capRaw%16)
+		c := newCCDCache(capacity)
+		r := &refLRU{capacity: capacity}
+		for _, b := range stream {
+			k := makeBlockKey(int(b)/32, int(b)%32)
+			if c.touch(k) != r.touch(k) {
+				return false
+			}
+		}
+		// Final residency must match too.
+		for _, k := range r.order {
+			if !c.contains(k) {
+				return false
+			}
+		}
+		return len(c.entries) == len(r.order)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyCacheNeverExceedsCapacity: residency is bounded under any
+// access stream.
+func TestPropertyCacheNeverExceedsCapacity(t *testing.T) {
+	f := func(capRaw uint8, stream []uint16) bool {
+		capacity := 1 + int(capRaw%32)
+		c := newCCDCache(capacity)
+		for _, b := range stream {
+			c.touch(makeBlockKey(int(b>>8), int(b&0xff)))
+			if len(c.entries) > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyCyclicAccessThrashes: a cyclic walk over more blocks than
+// the capacity must never hit — the behaviour that keeps out-of-cache
+// stream benchmarks honest.
+func TestPropertyCyclicAccessThrashes(t *testing.T) {
+	f := func(capRaw, extraRaw uint8, rounds uint8) bool {
+		capacity := 1 + int(capRaw%8)
+		blocks := capacity + 1 + int(extraRaw%8)
+		c := newCCDCache(capacity)
+		for round := 0; round < 2+int(rounds%4); round++ {
+			for b := 0; b < blocks; b++ {
+				if c.touch(makeBlockKey(0, b)) {
+					return false // a cyclic over-capacity walk hit
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

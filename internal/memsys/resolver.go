@@ -1,0 +1,120 @@
+package memsys
+
+import (
+	"github.com/ilan-sched/ilan/internal/topology"
+)
+
+// L3Bandwidth is the service rate for cache-resident data in bytes/second.
+// Hits cost time too, just an order of magnitude less than DRAM.
+const L3Bandwidth = 400e9
+
+// Demand is the resolved resource footprint of one task execution: extra
+// compute-side seconds (cache-hit service time) plus byte demands on each
+// bandwidth resource. The machine's fluid contention model consumes it.
+type Demand struct {
+	// CacheSeconds is time spent moving cache-resident bytes; it behaves
+	// like compute (private, uncontended).
+	CacheSeconds float64
+	// ResBytes[r] is the service demand on resource r in bytes, already
+	// inflated by NUMA distance and pattern effects.
+	ResBytes []float64
+	// ResLoad[r] is the queue-pressure demand on resource r: ResBytes
+	// additionally scaled by the access pattern's QueuePressure. The
+	// machine derives each task's contention-load contribution from it.
+	ResLoad []float64
+}
+
+// Reset clears a demand for reuse, sized for the given resource count.
+func (d *Demand) Reset(resources int) {
+	d.CacheSeconds = 0
+	if cap(d.ResBytes) < resources {
+		d.ResBytes = make([]float64, resources)
+		d.ResLoad = make([]float64, resources)
+		return
+	}
+	d.ResBytes = d.ResBytes[:resources]
+	d.ResLoad = d.ResLoad[:resources]
+	for i := range d.ResBytes {
+		d.ResBytes[i] = 0
+		d.ResLoad[i] = 0
+	}
+}
+
+// TotalBytes returns the summed resource demand (diagnostics).
+func (d *Demand) TotalBytes() float64 {
+	var t float64
+	for _, b := range d.ResBytes {
+		t += b
+	}
+	return t
+}
+
+// Resolver turns task Accesses into resource Demands for a specific
+// executing core, consulting and updating the cache model.
+type Resolver struct {
+	topo   *topology.Machine
+	res    *ResourceSet
+	caches *CacheSet
+}
+
+// NewResolver wires a resolver over a topology, resource set and cache set.
+func NewResolver(topo *topology.Machine, res *ResourceSet, caches *CacheSet) *Resolver {
+	return &Resolver{topo: topo, res: res, caches: caches}
+}
+
+// Resources returns the resolver's resource set.
+func (rv *Resolver) Resources() *ResourceSet { return rv.res }
+
+// Caches returns the resolver's cache set.
+func (rv *Resolver) Caches() *CacheSet { return rv.caches }
+
+// Resolve computes the demand of executing the given accesses on core. The
+// demand buffer is reset and filled. Resolve updates cache state, so it
+// must be called exactly once per task execution, at dispatch time (the
+// standard fluid-model approximation: cache effects of concurrent tasks are
+// serialized in event order).
+func (rv *Resolver) Resolve(core int, accesses []Access, dem *Demand) {
+	dem.Reset(rv.res.Count())
+	ccd := rv.topo.CCDOfCore(core)
+	coreNode := rv.topo.NodeOfCore(core)
+	coreSocket := rv.topo.SocketOfNode(coreNode)
+
+	for _, a := range accesses {
+		if err := a.validate(); err != nil {
+			panic(err)
+		}
+		if a.Bytes == 0 {
+			continue
+		}
+		span := a.span()
+		firstBlock := int(a.Offset / BlockSize)
+		lastBlock := int((a.Offset + span - 1) / BlockSize)
+		nblocks := lastBlock - firstBlock + 1
+		bytesPerBlock := float64(a.Bytes) / float64(nblocks)
+
+		inflate := 1.0
+		if a.Pattern == Gather {
+			inflate = 1 / gatherLineUtilization
+		}
+		pressure := a.Pattern.QueuePressure()
+
+		for b := firstBlock; b <= lastBlock; b++ {
+			if rv.caches.Touch(ccd, a.Region.ID(), b) {
+				dem.CacheSeconds += bytesPerBlock / L3Bandwidth
+				continue
+			}
+			home := int(a.Region.blocks[b])
+			raw := bytesPerBlock * inflate
+			dist := rv.topo.Distance(coreNode, home)
+			ctrl := rv.res.Controller(home)
+			dem.ResBytes[ctrl] += raw * dist
+			dem.ResLoad[ctrl] += raw * dist * pressure
+			homeSocket := rv.topo.SocketOfNode(home)
+			if homeSocket != coreSocket {
+				link := rv.res.Link(coreSocket, homeSocket)
+				dem.ResBytes[link] += raw
+				dem.ResLoad[link] += raw
+			}
+		}
+	}
+}

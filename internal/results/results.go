@@ -1,0 +1,197 @@
+// Package results persists experiment campaigns as JSON and compares two
+// campaigns with tolerances — the regression-tracking layer: run the
+// evaluation before and after a change, diff the files, and see exactly
+// which (benchmark, scheduler) cells moved.
+package results
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"github.com/ilan-sched/ilan/internal/harness"
+	"github.com/ilan-sched/ilan/internal/stats"
+)
+
+// FormatVersion identifies the file schema.
+const FormatVersion = 1
+
+// File is a persisted campaign.
+type File struct {
+	Version int    `json:"version"`
+	Label   string `json:"label,omitempty"`
+	Reps    int    `json:"reps"`
+	Seed    uint64 `json:"seed"`
+	Class   string `json:"class"`
+	Cells   []Cell `json:"cells"`
+}
+
+// Cell is one (benchmark, scheduler) aggregate.
+type Cell struct {
+	Bench           string    `json:"bench"`
+	Kind            string    `json:"kind"`
+	Times           []float64 `json:"times"`
+	Overheads       []float64 `json:"overheads"`
+	WeightedThreads []float64 `json:"weightedThreads"`
+}
+
+// MeanTime returns the cell's mean elapsed seconds.
+func (c *Cell) MeanTime() float64 { return stats.Mean(c.Times) }
+
+// FromMatrix converts a campaign matrix into a persistable file.
+func FromMatrix(mx *harness.Matrix, cfg harness.Config, label string) *File {
+	f := &File{
+		Version: FormatVersion,
+		Label:   label,
+		Reps:    cfg.Reps,
+		Seed:    cfg.Seed,
+		Class:   cfg.Class.String(),
+	}
+	mx.EachCell(func(c *harness.Cell) {
+		cell := Cell{Bench: c.Bench, Kind: c.Kind.String()}
+		for _, s := range c.Samples {
+			cell.Times = append(cell.Times, s.ElapsedSec)
+			cell.Overheads = append(cell.Overheads, s.OverheadSec)
+			cell.WeightedThreads = append(cell.WeightedThreads, s.WeightedThreads)
+		}
+		f.Cells = append(f.Cells, cell)
+	})
+	return f
+}
+
+// Write serializes the file as indented JSON.
+func (f *File) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// Read parses and validates a results file.
+func Read(r io.Reader) (*File, error) {
+	var f File
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("results: %w", err)
+	}
+	if f.Version != FormatVersion {
+		return nil, fmt.Errorf("results: unsupported version %d (want %d)", f.Version, FormatVersion)
+	}
+	seen := map[string]bool{}
+	for _, c := range f.Cells {
+		key := c.Bench + "/" + c.Kind
+		if seen[key] {
+			return nil, fmt.Errorf("results: duplicate cell %s", key)
+		}
+		seen[key] = true
+		if len(c.Times) == 0 {
+			return nil, fmt.Errorf("results: cell %s has no samples", key)
+		}
+	}
+	return &f, nil
+}
+
+// ToMatrix reconstructs a harness matrix from a persisted campaign so that
+// reports and charts can be re-rendered without re-running experiments.
+// Cells whose kind name is unknown to this build are skipped.
+func (f *File) ToMatrix() *harness.Matrix {
+	var cells []*harness.Cell
+	for _, c := range f.Cells {
+		kind, ok := harness.KindFromString(c.Kind)
+		if !ok {
+			continue
+		}
+		hc := &harness.Cell{Bench: c.Bench, Kind: kind}
+		for i := range c.Times {
+			s := harness.RunSample{ElapsedSec: c.Times[i]}
+			if i < len(c.Overheads) {
+				s.OverheadSec = c.Overheads[i]
+			}
+			if i < len(c.WeightedThreads) {
+				s.WeightedThreads = c.WeightedThreads[i]
+			}
+			hc.Samples = append(hc.Samples, s)
+		}
+		cells = append(cells, hc)
+	}
+	return harness.BuildMatrix(cells)
+}
+
+// Diff is one cell-level discrepancy between two campaigns.
+type Diff struct {
+	Bench string
+	Kind  string
+	// Field is "time", "overhead", or "threads".
+	Field string
+	// Old and New are the compared means; Rel the relative change.
+	Old, New, Rel float64
+	// Missing marks cells present in only one file.
+	Missing bool
+}
+
+// String renders the diff on one line.
+func (d Diff) String() string {
+	if d.Missing {
+		return fmt.Sprintf("%-8s %-14s missing from one file", d.Bench, d.Kind)
+	}
+	return fmt.Sprintf("%-8s %-14s %-8s %12.6g -> %12.6g (%+.2f%%)",
+		d.Bench, d.Kind, d.Field, d.Old, d.New, 100*d.Rel)
+}
+
+// Compare reports cells whose mean time, overhead, or thread count moved
+// by more than tol (relative). Cells missing from either file are always
+// reported.
+func Compare(a, b *File, tol float64) []Diff {
+	index := func(f *File) map[string]*Cell {
+		m := map[string]*Cell{}
+		for i := range f.Cells {
+			m[f.Cells[i].Bench+"/"+f.Cells[i].Kind] = &f.Cells[i]
+		}
+		return m
+	}
+	ia, ib := index(a), index(b)
+	keys := map[string]bool{}
+	for k := range ia {
+		keys[k] = true
+	}
+	for k := range ib {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+
+	var diffs []Diff
+	for _, k := range sorted {
+		ca, cb := ia[k], ib[k]
+		if ca == nil || cb == nil {
+			var ref *Cell
+			if ca != nil {
+				ref = ca
+			} else {
+				ref = cb
+			}
+			diffs = append(diffs, Diff{Bench: ref.Bench, Kind: ref.Kind, Missing: true})
+			continue
+		}
+		check := func(field string, oldV, newV float64) {
+			if oldV == 0 && newV == 0 {
+				return
+			}
+			rel := math.Abs(newV-oldV) / math.Max(math.Abs(oldV), 1e-300)
+			if rel > tol {
+				diffs = append(diffs, Diff{
+					Bench: ca.Bench, Kind: ca.Kind, Field: field,
+					Old: oldV, New: newV, Rel: (newV - oldV) / oldV,
+				})
+			}
+		}
+		check("time", stats.Mean(ca.Times), stats.Mean(cb.Times))
+		check("overhead", stats.Mean(ca.Overheads), stats.Mean(cb.Overheads))
+		check("threads", stats.Mean(ca.WeightedThreads), stats.Mean(cb.WeightedThreads))
+	}
+	return diffs
+}

@@ -1,0 +1,164 @@
+package results
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/ilan-sched/ilan/internal/harness"
+	"github.com/ilan-sched/ilan/internal/machine"
+	"github.com/ilan-sched/ilan/internal/topology"
+	"github.com/ilan-sched/ilan/internal/workloads"
+)
+
+func campaign(t *testing.T, seed uint64) (*harness.Matrix, harness.Config) {
+	t.Helper()
+	cfg := harness.Config{
+		Class: workloads.ClassTest,
+		Reps:  2,
+		Seed:  seed,
+		Noise: machine.NoiseConfig{},
+		Topo:  topology.SmallTest(),
+	}
+	b, _ := workloads.ByName("Matmul")
+	mx, err := harness.Run([]workloads.Benchmark{b},
+		[]harness.Kind{harness.KindBaseline, harness.KindILAN}, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mx, cfg
+}
+
+func TestRoundTrip(t *testing.T) {
+	mx, cfg := campaign(t, 1)
+	f := FromMatrix(mx, cfg, "before")
+	if len(f.Cells) != 2 {
+		t.Fatalf("file has %d cells, want 2", len(f.Cells))
+	}
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Label != "before" || g.Reps != 2 || g.Class != "test" {
+		t.Fatalf("metadata lost: %+v", g)
+	}
+	if len(Compare(f, g, 0)) != 0 {
+		t.Fatal("round-tripped file differs from original")
+	}
+}
+
+func TestCompareIdenticalCampaigns(t *testing.T) {
+	mxA, cfg := campaign(t, 1)
+	mxB, _ := campaign(t, 1)
+	diffs := Compare(FromMatrix(mxA, cfg, "a"), FromMatrix(mxB, cfg, "b"), 1e-12)
+	if len(diffs) != 0 {
+		t.Fatalf("identical campaigns diff: %v", diffs)
+	}
+}
+
+func TestCompareDetectsChange(t *testing.T) {
+	mxA, cfg := campaign(t, 1)
+	a := FromMatrix(mxA, cfg, "a")
+	b := FromMatrix(mxA, cfg, "b")
+	b.Cells[0].Times = append([]float64(nil), a.Cells[0].Times...)
+	for i := range b.Cells[0].Times {
+		b.Cells[0].Times[i] *= 1.5
+	}
+	diffs := Compare(a, b, 0.1)
+	if len(diffs) != 1 {
+		t.Fatalf("want 1 diff, got %v", diffs)
+	}
+	if diffs[0].Field != "time" || diffs[0].Rel < 0.49 || diffs[0].Rel > 0.51 {
+		t.Fatalf("bad diff: %+v", diffs[0])
+	}
+	if !strings.Contains(diffs[0].String(), "time") {
+		t.Fatalf("diff string: %s", diffs[0])
+	}
+}
+
+func TestCompareToleranceSuppresses(t *testing.T) {
+	mxA, cfg := campaign(t, 1)
+	a := FromMatrix(mxA, cfg, "a")
+	b := FromMatrix(mxA, cfg, "b")
+	for i := range b.Cells[0].Times {
+		b.Cells[0].Times[i] *= 1.01
+	}
+	if diffs := Compare(a, b, 0.05); len(diffs) != 0 {
+		t.Fatalf("1%% change reported at 5%% tolerance: %v", diffs)
+	}
+}
+
+func TestCompareMissingCell(t *testing.T) {
+	mxA, cfg := campaign(t, 1)
+	a := FromMatrix(mxA, cfg, "a")
+	b := FromMatrix(mxA, cfg, "b")
+	b.Cells = b.Cells[:1]
+	diffs := Compare(a, b, 0.5)
+	found := false
+	for _, d := range diffs {
+		if d.Missing {
+			found = true
+			if !strings.Contains(d.String(), "missing") {
+				t.Fatalf("missing diff string: %s", d)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("missing cell not reported")
+	}
+}
+
+func TestToMatrixRoundTrip(t *testing.T) {
+	mx, cfg := campaign(t, 1)
+	f := FromMatrix(mx, cfg, "x")
+	back := f.ToMatrix()
+	if len(back.Benches) != 1 || back.Benches[0] != "Matmul" {
+		t.Fatalf("benches = %v", back.Benches)
+	}
+	orig := mx.Cell("Matmul", harness.KindILAN)
+	got := back.Cell("Matmul", harness.KindILAN)
+	if got == nil || len(got.Samples) != len(orig.Samples) {
+		t.Fatal("ILAN cell lost in round trip")
+	}
+	for i := range got.Samples {
+		if got.Samples[i].ElapsedSec != orig.Samples[i].ElapsedSec {
+			t.Fatal("sample times diverged")
+		}
+	}
+	if back.Speedup("Matmul", harness.KindILAN) != mx.Speedup("Matmul", harness.KindILAN) {
+		t.Fatal("speedup diverged after round trip")
+	}
+}
+
+func TestToMatrixSkipsUnknownKinds(t *testing.T) {
+	f := &File{Version: 1, Cells: []Cell{
+		{Bench: "X", Kind: "baseline", Times: []float64{1}},
+		{Bench: "X", Kind: "from-the-future", Times: []float64{1}},
+	}}
+	mx := f.ToMatrix()
+	if mx.Cell("X", harness.KindBaseline) == nil {
+		t.Fatal("known kind dropped")
+	}
+}
+
+func TestReadRejectsBadFiles(t *testing.T) {
+	cases := map[string]string{
+		"garbage":     "not json",
+		"bad version": `{"version": 99, "cells": []}`,
+		"dup cell": `{"version":1,"cells":[
+			{"bench":"A","kind":"ilan","times":[1]},
+			{"bench":"A","kind":"ilan","times":[1]}]}`,
+		"empty samples": `{"version":1,"cells":[{"bench":"A","kind":"ilan","times":[]}]}`,
+	}
+	for name, doc := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(doc)); err == nil {
+				t.Error("accepted invalid file")
+			}
+		})
+	}
+}

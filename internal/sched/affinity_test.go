@@ -1,0 +1,119 @@
+package sched
+
+import (
+	"testing"
+
+	"github.com/ilan-sched/ilan/internal/memsys"
+	"github.com/ilan-sched/ilan/internal/taskrt"
+)
+
+// hintedLoop builds a stream loop with perfect affinity hints over a region
+// blocked across all nodes.
+func hintedLoop(t *testing.T, rt *taskrt.Runtime, id int) *taskrt.LoopSpec {
+	t.Helper()
+	topo := rt.Topology()
+	const iters = 128
+	const bpi = int64(64 << 10)
+	r := rt.Machine().Memory().NewRegion("hinted", iters*bpi)
+	nodes := make([]int, topo.NumNodes())
+	for i := range nodes {
+		nodes[i] = i
+	}
+	r.PlaceBlocked(nodes)
+	return &taskrt.LoopSpec{
+		ID: id, Name: "hinted", Iters: iters, Tasks: 32,
+		Demand: func(lo, hi int) (float64, []memsys.Access) {
+			return 20e-6 * float64(hi-lo), []memsys.Access{{
+				Region: r, Offset: int64(lo) * bpi, Bytes: int64(hi-lo) * bpi,
+				Pattern: memsys.Stream,
+			}}
+		},
+		Hint: func(lo, hi int) int {
+			return r.HomeNode(int64(lo+hi) / 2 * bpi)
+		},
+	}
+}
+
+func TestAffinityPlacesOnHintedNodes(t *testing.T) {
+	a := &Affinity{}
+	rt := newRT(t, a)
+	spec := hintedLoop(t, rt, 1)
+	plan := a.Plan(rt, spec)
+	if err := plan.Validate(spec, rt.Topology().NumCores()); err != nil {
+		t.Fatal(err)
+	}
+	// With 32 tasks over 4 nodes (SmallTest), placements must span several
+	// node primaries, not all sit on core 0.
+	cores := map[int]bool{}
+	for _, tp := range plan.Place {
+		cores[tp.Core] = true
+		if tp.Core != rt.Topology().PrimaryCore(rt.Topology().NodeOfCore(tp.Core)) {
+			t.Fatalf("task placed on non-primary core %d", tp.Core)
+		}
+		if tp.Strict {
+			t.Fatal("affinity hints must not be binding (Strict set)")
+		}
+	}
+	if len(cores) < 3 {
+		t.Fatalf("hints spread tasks over only %d cores", len(cores))
+	}
+	if a.Name() != "affinity" {
+		t.Fatalf("Name = %q", a.Name())
+	}
+}
+
+func TestAffinityWithoutHintsDegradesToMasterQueue(t *testing.T) {
+	a := &Affinity{}
+	rt := newRT(t, a)
+	spec := balancedLoop(1) // no Hint
+	plan := a.Plan(rt, spec)
+	for i, tp := range plan.Place {
+		if tp.Core != 0 {
+			t.Fatalf("task %d on core %d without hints, want master", i, tp.Core)
+		}
+	}
+}
+
+// TestAffinityLimitsMatchPaperArgument reproduces the paper's §3.4 point:
+// affinity hints improve initial placement, but because the stealing
+// remains topology-free and unbounded, most of the locality evaporates —
+// affinity ends up within a few percent of the baseline, far from ILAN's
+// structured distribution.
+func TestAffinityLimitsMatchPaperArgument(t *testing.T) {
+	run := func(s taskrt.Scheduler) float64 {
+		rt := newRT(t, s)
+		spec := hintedLoop(t, rt, 1)
+		prog := &taskrt.Program{Name: "h", Loops: []*taskrt.LoopSpec{spec},
+			Sequence: []int{0, 0, 0, 0, 0}}
+		res, err := rt.RunProgram(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.Elapsed)
+	}
+	affinity := run(&Affinity{})
+	baseline := run(&Baseline{})
+	if affinity > baseline*1.10 {
+		t.Fatalf("affinity (%g) much slower than baseline (%g)", affinity, baseline)
+	}
+	if affinity < baseline*0.5 {
+		t.Fatalf("affinity (%g) implausibly faster than baseline (%g): hints should "+
+			"not recover structured-distribution performance", affinity, baseline)
+	}
+}
+
+func TestAffinityIgnoresInvalidHint(t *testing.T) {
+	a := &Affinity{}
+	rt := newRT(t, a)
+	spec := balancedLoop(1)
+	spec.Hint = func(lo, hi int) int { return -1 }
+	plan := a.Plan(rt, spec)
+	if err := plan.Validate(spec, rt.Topology().NumCores()); err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range plan.Place {
+		if tp.Core != 0 {
+			t.Fatal("invalid hint should fall back to master placement")
+		}
+	}
+}

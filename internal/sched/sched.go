@@ -1,0 +1,79 @@
+// Package sched provides the two reference schedulers ILAN is evaluated
+// against in the paper: the default LLVM OpenMP taskloop scheduler
+// (topology-blind random work stealing) and the static OpenMP work-sharing
+// scheduler (omp for schedule(static)).
+package sched
+
+import (
+	"github.com/ilan-sched/ilan/internal/taskrt"
+)
+
+// Baseline models the default LLVM OpenMP tasking scheduler: the thread
+// encountering the taskloop creates every task into its own deque, all
+// threads participate, and idle threads steal from uniformly random victims
+// with no topology awareness.
+type Baseline struct {
+	// MasterCore is the core whose thread encounters the taskloop
+	// (default 0, like the primary thread of the parallel region).
+	MasterCore int
+}
+
+// Name implements taskrt.Scheduler.
+func (b *Baseline) Name() string { return "baseline" }
+
+// Plan implements taskrt.Scheduler.
+func (b *Baseline) Plan(rt *taskrt.Runtime, spec *taskrt.LoopSpec) *taskrt.Plan {
+	n := rt.Topology().NumCores()
+	p := &taskrt.Plan{
+		Active: make([]int, n),
+		Mode:   taskrt.StealFlat,
+	}
+	for c := 0; c < n; c++ {
+		p.Active[c] = c
+	}
+	for t := 0; t < spec.Tasks; t++ {
+		lo, hi := spec.ChunkBounds(t)
+		p.Place = append(p.Place, taskrt.TaskPlacement{Lo: lo, Hi: hi, Core: b.MasterCore})
+	}
+	return p
+}
+
+// Observe implements taskrt.Scheduler; the baseline keeps no state.
+func (b *Baseline) Observe(*taskrt.Runtime, *taskrt.LoopSpec, *taskrt.LoopStats) {}
+
+// WorkSharing models OpenMP's static work-sharing construct
+// (omp for schedule(static)): iterations are divided into one contiguous
+// chunk per thread, each chunk is bound to its thread, and there is no
+// load balancing of any kind.
+type WorkSharing struct{}
+
+// Name implements taskrt.Scheduler.
+func (w *WorkSharing) Name() string { return "worksharing" }
+
+// Plan implements taskrt.Scheduler.
+func (w *WorkSharing) Plan(rt *taskrt.Runtime, spec *taskrt.LoopSpec) *taskrt.Plan {
+	n := rt.Topology().NumCores()
+	if n > spec.Iters {
+		n = spec.Iters
+	}
+	p := &taskrt.Plan{
+		Active: make([]int, n),
+		Mode:   taskrt.StealOff,
+	}
+	for c := 0; c < n; c++ {
+		p.Active[c] = c
+		lo := c * spec.Iters / n
+		hi := (c + 1) * spec.Iters / n
+		p.Place = append(p.Place, taskrt.TaskPlacement{Lo: lo, Hi: hi, Core: c, Strict: true})
+	}
+	return p
+}
+
+// Observe implements taskrt.Scheduler; work-sharing keeps no state.
+func (w *WorkSharing) Observe(*taskrt.Runtime, *taskrt.LoopSpec, *taskrt.LoopStats) {}
+
+// Compile-time interface checks.
+var (
+	_ taskrt.Scheduler = (*Baseline)(nil)
+	_ taskrt.Scheduler = (*WorkSharing)(nil)
+)

@@ -1,0 +1,63 @@
+package sched
+
+import (
+	"github.com/ilan-sched/ilan/internal/taskrt"
+)
+
+// Shepherd models the multi-threaded-shepherd hierarchical scheduler of
+// Olivier et al. — the prior work ILAN's task distribution takes
+// inspiration from (paper §2.1/§3.3). Tasks are distributed contiguously
+// to per-NUMA-node shepherds (the node primaries' deques) and spread
+// inside each node by work-stealing; a worker crosses nodes only after its
+// own shepherd runs dry, and then transfers a chunk of tasks at once to
+// amortize steal operations.
+//
+// What it lacks relative to ILAN is exactly the paper's contribution: no
+// performance tracing, no moldability (always full width), no per-loop
+// steal-policy decision, no NUMA-strict task fraction. Comparing it
+// against ILAN isolates the value of the adaptive machinery over pure
+// hierarchical structure.
+type Shepherd struct {
+	// ChunkSize is the number of tasks a remote steal transfers
+	// (default 4, "transferring chunks of tasks to reduce the required
+	// number of steal operations").
+	ChunkSize int
+}
+
+// Name implements taskrt.Scheduler.
+func (s *Shepherd) Name() string { return "shepherd" }
+
+// Plan implements taskrt.Scheduler.
+func (s *Shepherd) Plan(rt *taskrt.Runtime, spec *taskrt.LoopSpec) *taskrt.Plan {
+	topo := rt.Topology()
+	chunk := s.ChunkSize
+	if chunk <= 0 {
+		chunk = 4
+	}
+	p := &taskrt.Plan{
+		Active:         make([]int, topo.NumCores()),
+		Mode:           taskrt.StealHierarchical,
+		InterNodeSteal: true,
+		StealChunk:     chunk,
+	}
+	for c := range p.Active {
+		p.Active[c] = c
+	}
+	nNodes := topo.NumNodes()
+	for t := 0; t < spec.Tasks; t++ {
+		lo, hi := spec.ChunkBounds(t)
+		node := t * nNodes / spec.Tasks
+		if node >= nNodes {
+			node = nNodes - 1
+		}
+		p.Place = append(p.Place, taskrt.TaskPlacement{
+			Lo: lo, Hi: hi, Core: topo.PrimaryCore(node),
+		})
+	}
+	return p
+}
+
+// Observe implements taskrt.Scheduler; shepherds keep no state.
+func (s *Shepherd) Observe(*taskrt.Runtime, *taskrt.LoopSpec, *taskrt.LoopStats) {}
+
+var _ taskrt.Scheduler = (*Shepherd)(nil)

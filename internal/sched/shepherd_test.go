@@ -1,0 +1,121 @@
+package sched
+
+import (
+	"testing"
+
+	"github.com/ilan-sched/ilan/internal/memsys"
+	"github.com/ilan-sched/ilan/internal/taskrt"
+)
+
+func TestShepherdPlanShape(t *testing.T) {
+	s := &Shepherd{}
+	rt := newRT(t, s)
+	spec := balancedLoop(1)
+	plan := s.Plan(rt, spec)
+	if err := plan.Validate(spec, rt.Topology().NumCores()); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Mode != taskrt.StealHierarchical || !plan.InterNodeSteal {
+		t.Fatalf("shepherd mode wrong: %+v", plan)
+	}
+	if plan.StealChunk != 4 {
+		t.Fatalf("default chunk = %d, want 4", plan.StealChunk)
+	}
+	// Tasks contiguously assigned to node primaries.
+	topo := rt.Topology()
+	lastNode := -1
+	for _, tp := range plan.Place {
+		node := topo.NodeOfCore(tp.Core)
+		if tp.Core != topo.PrimaryCore(node) {
+			t.Fatalf("task on non-primary core %d", tp.Core)
+		}
+		if node < lastNode {
+			t.Fatalf("node assignment not contiguous")
+		}
+		lastNode = node
+		if tp.Strict {
+			t.Fatal("shepherd tasks must not be NUMA-strict")
+		}
+	}
+	if s.Name() != "shepherd" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+}
+
+func TestShepherdRunsAndBalances(t *testing.T) {
+	s := &Shepherd{ChunkSize: 2}
+	rt := newRT(t, s)
+	spec := imbalancedLoop(1)
+	var st *taskrt.LoopStats
+	rt.SubmitLoop(spec, func(x *taskrt.LoopStats) { st = x })
+	if err := rt.Machine().Engine().Run(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range st.NodeTasks {
+		total += n
+	}
+	if total != spec.Tasks {
+		t.Fatalf("executed %d tasks, want %d", total, spec.Tasks)
+	}
+	// The imbalanced head (node 0's tasks) must attract remote thieves.
+	if st.StealsRemote == 0 {
+		t.Fatal("no inter-node steals on an imbalanced loop")
+	}
+}
+
+func TestChunkedStealReducesRemoteStealOperations(t *testing.T) {
+	// A heavily imbalanced loop: one node's shepherd holds far more work,
+	// so other nodes must raid it. With chunked transfers, each raid
+	// brings several tasks home, so far fewer remote steals occur.
+	heavy := &taskrt.LoopSpec{
+		ID: 1, Name: "heavy-head", Iters: 256, Tasks: 128,
+		Demand: func(lo, hi int) (float64, []memsys.Access) {
+			w := 10e-6 * float64(hi-lo)
+			if lo < 64 {
+				w *= 12
+			}
+			return w, nil
+		},
+	}
+	run := func(chunk int) int {
+		s := &Shepherd{ChunkSize: chunk}
+		rt := newRT(t, s)
+		var st *taskrt.LoopStats
+		rt.SubmitLoop(heavy, func(x *taskrt.LoopStats) { st = x })
+		if err := rt.Machine().Engine().Run(); err != nil {
+			t.Fatal(err)
+		}
+		return st.StealsRemote
+	}
+	single := run(1)
+	chunked := run(8)
+	if single == 0 {
+		t.Fatal("no remote steals at all; test workload too balanced")
+	}
+	if chunked >= single {
+		t.Fatalf("chunked remote steals (%d) not fewer than single (%d)", chunked, single)
+	}
+}
+
+func TestShepherdBeatsBaselineOnStreams(t *testing.T) {
+	// Pure hierarchical structure already buys the locality win on a
+	// balanced streaming loop (the paper's §2.1 premise).
+	run := func(s taskrt.Scheduler) float64 {
+		rt := newRT(t, s)
+		spec := hintedLoop(t, rt, 1) // streaming loop over a blocked region
+		prog := &taskrt.Program{Name: "h", Loops: []*taskrt.LoopSpec{spec},
+			Sequence: []int{0, 0, 0, 0, 0}}
+		res, err := rt.RunProgram(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.Elapsed)
+	}
+	shepherd := run(&Shepherd{})
+	baseline := run(&Baseline{})
+	if shepherd >= baseline {
+		t.Fatalf("shepherd (%g) not faster than baseline (%g) on streaming loop",
+			shepherd, baseline)
+	}
+}

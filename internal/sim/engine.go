@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Event is a closure scheduled to run at a point in virtual time.
+type Event func()
+
+// event is the internal heap entry. Ties on time are broken by insertion
+// sequence so that execution order is fully deterministic.
+type event struct {
+	at   Time
+	seq  uint64
+	fn   Event
+	dead bool // cancelled
+	idx  int  // heap index, maintained by eventHeap
+}
+
+// Handle identifies a scheduled event and allows cancelling it.
+type Handle struct{ ev *event }
+
+// Cancel marks the event so the engine skips it. Cancelling an already-run
+// or already-cancelled event is a no-op. Cancel reports whether the event
+// was still pending.
+func (h Handle) Cancel() bool {
+	if h.ev == nil || h.ev.dead {
+		return false
+	}
+	h.ev.dead = true
+	h.ev.fn = nil
+	return true
+}
+
+// Pending reports whether the event is still waiting to fire.
+func (h Handle) Pending() bool { return h.ev != nil && !h.ev.dead }
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is the discrete-event simulator core. It is not safe for
+// concurrent use: the whole simulation is single-threaded by design, so
+// results are bit-identical across runs and host machines.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	// processed counts events executed; used by tests and runaway guards.
+	processed uint64
+	// limit aborts Run after this many events (0 = unlimited) to convert
+	// accidental infinite event loops into an error instead of a hang.
+	limit uint64
+}
+
+// ErrEventLimit is returned by Run when the configured event limit is hit.
+var ErrEventLimit = errors.New("sim: event limit exceeded")
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events waiting in the queue
+// (including cancelled-but-not-yet-popped entries).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// SetLimit installs a guard: Run returns ErrEventLimit after n events.
+// n = 0 removes the guard.
+func (e *Engine) SetLimit(n uint64) { e.limit = n }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it is always a logic error in the layers above.
+func (e *Engine) At(t Time, fn Event) Handle {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling nil event")
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return Handle{ev: ev}
+}
+
+// After schedules fn to run d seconds from now.
+func (e *Engine) After(d Duration, fn Event) Handle {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Run executes events until the queue is empty or the event limit is hit.
+func (e *Engine) Run() error {
+	for len(e.events) > 0 {
+		if err := e.step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunUntil executes events with timestamps <= deadline. The clock is left
+// at the deadline (or at the last event, whichever is later) so that
+// subsequent After calls measure from the deadline.
+func (e *Engine) RunUntil(deadline Time) error {
+	for len(e.events) > 0 && e.events[0].at <= deadline {
+		if err := e.step(); err != nil {
+			return err
+		}
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return nil
+}
+
+func (e *Engine) step() error {
+	ev := heap.Pop(&e.events).(*event)
+	if ev.dead {
+		return nil
+	}
+	if ev.at < e.now {
+		panic("sim: event queue time went backwards")
+	}
+	e.now = ev.at
+	e.processed++
+	if e.limit != 0 && e.processed > e.limit {
+		return fmt.Errorf("%w: %d events at t=%v", ErrEventLimit, e.processed, e.now)
+	}
+	fn := ev.fn
+	ev.fn = nil
+	ev.dead = true
+	fn()
+	return nil
+}

@@ -1,0 +1,348 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("new engine Now() = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("new engine Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []Time
+	for _, d := range []Duration{5, 1, 3, 2, 4} {
+		d := d
+		e.After(d, func() { order = append(order, e.Now()) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(order, func(i, j int) bool { return order[i] < order[j] }) {
+		t.Fatalf("events ran out of order: %v", order)
+	}
+	if len(order) != 5 {
+		t.Fatalf("ran %d events, want 5", len(order))
+	}
+}
+
+func TestSimultaneousEventsRunInScheduleOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(7, func() { order = append(order, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break violated: order=%v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var hits []Time
+	e.After(1, func() {
+		hits = append(hits, e.Now())
+		e.After(2, func() { hits = append(hits, e.Now()) })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{1, 3}
+	if len(hits) != 2 || hits[0] != want[0] || hits[1] != want[1] {
+		t.Fatalf("hits = %v, want %v", hits, want)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	h := e.After(1, func() { ran = true })
+	if !h.Pending() {
+		t.Fatal("handle should be pending before run")
+	}
+	if !h.Cancel() {
+		t.Fatal("first Cancel should report true")
+	}
+	if h.Cancel() {
+		t.Fatal("second Cancel should report false")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("cancelled event still ran")
+	}
+}
+
+func TestCancelAfterRunIsNoop(t *testing.T) {
+	e := NewEngine()
+	h := e.After(1, func() {})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Cancel() {
+		t.Fatal("Cancel after event ran should report false")
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	var ran []Time
+	e.After(1, func() { ran = append(ran, e.Now()) })
+	e.After(10, func() { ran = append(ran, e.Now()) })
+	if err := e.RunUntil(5); err != nil {
+		t.Fatal(err)
+	}
+	if len(ran) != 1 || ran[0] != 1 {
+		t.Fatalf("RunUntil(5) ran %v, want just t=1", ran)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("Now() = %v after RunUntil(5), want 5", e.Now())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ran) != 2 || ran[1] != 10 {
+		t.Fatalf("final ran = %v, want [1 10]", ran)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.After(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("At(past) did not panic")
+			}
+		}()
+		e.At(1, func() {})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("After(-1) did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestNilEventPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("After(nil) did not panic")
+		}
+	}()
+	e.After(1, nil)
+}
+
+func TestEventLimit(t *testing.T) {
+	e := NewEngine()
+	e.SetLimit(100)
+	var tick func()
+	tick = func() { e.After(1, tick) } // never terminates on its own
+	e.After(0, tick)
+	err := e.Run()
+	if !errors.Is(err, ErrEventLimit) {
+		t.Fatalf("Run() err = %v, want ErrEventLimit", err)
+	}
+}
+
+func TestProcessedCount(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 17; i++ {
+		e.After(Duration(i), func() {})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Processed() != 17 {
+		t.Fatalf("Processed() = %d, want 17", e.Processed())
+	}
+}
+
+// Property: for any set of non-negative delays, events fire in sorted order
+// and the clock ends at the max delay.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		e := NewEngine()
+		var fired []Time
+		for _, d := range raw {
+			e.After(Duration(d), func() { fired = append(fired, e.Now()) })
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		if len(fired) != len(raw) {
+			return false
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+			return false
+		}
+		maxd := Time(0)
+		for _, d := range raw {
+			if Time(d) > maxd {
+				maxd = Time(d)
+			}
+		}
+		return e.Now() == maxd
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed RNGs diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws", same)
+	}
+}
+
+func TestRNGZeroSeedWorks(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced a degenerate all-zero stream")
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	parent := NewRNG(7)
+	c1 := parent.Split(1)
+	c2 := parent.Split(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("split streams produced %d identical draws", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(4)
+	counts := make([]int, 7)
+	for i := 0; i < 7000; i++ {
+		counts[r.Intn(7)]++
+	}
+	for v, c := range counts {
+		if c == 0 {
+			t.Fatalf("Intn(7) never produced %d", v)
+		}
+	}
+}
+
+func TestRNGIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	r := NewRNG(5)
+	n := 50000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.Normal()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumsq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.03 {
+		t.Errorf("Normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("Normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(6)
+	n := 50000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.Exp(2.5)
+		if v < 0 {
+			t.Fatalf("Exp returned negative %v", v)
+		}
+		sum += v
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-2.5) > 0.1 {
+		t.Errorf("Exp(2.5) mean = %v, want ~2.5", mean)
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(8)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if got := Time(1.5).String(); got != "1.500000s" {
+		t.Fatalf("Time.String() = %q", got)
+	}
+}

@@ -1,0 +1,7 @@
+package sim
+
+import "math"
+
+// Thin aliases keep rng.go free of qualified math calls in hot paths.
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+func ln(x float64) float64   { return math.Log(x) }

@@ -1,0 +1,243 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness needs: means, standard deviations, confidence intervals, speedup
+// ratios, and the outlier filter used in the paper's variability analysis.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator), or 0 for
+// fewer than two samples.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Variance returns the sample variance (n-1 denominator).
+func Variance(xs []float64) float64 {
+	s := StdDev(xs)
+	return s * s
+}
+
+// Min returns the smallest element, or NaN for empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element, or NaN for empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the median, or NaN for empty input.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Speedup returns base/x: how many times faster x is than base
+// (>1 means faster, matching the paper's "normalized speedup").
+func Speedup(base, x float64) float64 {
+	if x == 0 {
+		return math.Inf(1)
+	}
+	return base / x
+}
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval of the mean.
+func CI95(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	return 1.96 * StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// CoefVar returns the coefficient of variation (stddev/mean), or 0 when the
+// mean is zero.
+func CoefVar(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return StdDev(xs) / m
+}
+
+// DropOutliers returns xs without elements farther than k sample standard
+// deviations from the mean — the filter the paper applies to its BT
+// variability outlier. It never drops below two samples.
+func DropOutliers(xs []float64, k float64) []float64 {
+	if len(xs) < 3 {
+		return append([]float64(nil), xs...)
+	}
+	m, sd := Mean(xs), StdDev(xs)
+	if sd == 0 {
+		return append([]float64(nil), xs...)
+	}
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if math.Abs(x-m) <= k*sd {
+			out = append(out, x)
+		}
+	}
+	if len(out) < 2 {
+		return append([]float64(nil), xs...)
+	}
+	return out
+}
+
+// WeightedMean returns sum(w*x)/sum(w). It panics on length mismatch and
+// returns NaN when weights sum to zero.
+func WeightedMean(xs, ws []float64) float64 {
+	if len(xs) != len(ws) {
+		panic(fmt.Sprintf("stats: WeightedMean length mismatch %d vs %d", len(xs), len(ws)))
+	}
+	var sw, swx float64
+	for i := range xs {
+		sw += ws[i]
+		swx += ws[i] * xs[i]
+	}
+	if sw == 0 {
+		return math.NaN()
+	}
+	return swx / sw
+}
+
+// GeoMean returns the geometric mean of positive values, or NaN if any
+// value is non-positive or the input is empty.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// WelchT returns Welch's t statistic and the Welch–Satterthwaite degrees of
+// freedom for the difference of means of two samples with (possibly)
+// unequal variances. It returns (0, 0) when either sample has fewer than
+// two elements or both variances are zero.
+func WelchT(a, b []float64) (t, df float64) {
+	if len(a) < 2 || len(b) < 2 {
+		return 0, 0
+	}
+	ma, mb := Mean(a), Mean(b)
+	va, vb := Variance(a), Variance(b)
+	na, nb := float64(len(a)), float64(len(b))
+	sa, sb := va/na, vb/nb
+	den := sa + sb
+	if den == 0 {
+		return 0, 0
+	}
+	t = (ma - mb) / math.Sqrt(den)
+	df = den * den / (sa*sa/(na-1) + sb*sb/(nb-1))
+	return t, df
+}
+
+// SignificantlyDifferent reports whether two samples' means differ at the
+// (approximately) 5% level under Welch's t-test. For the experiment sizes
+// used here (df >= ~10) the normal approximation of the t distribution is
+// adequate; the threshold is the two-sided 97.5% quantile with a small
+// small-sample widening.
+func SignificantlyDifferent(a, b []float64) bool {
+	t, df := WelchT(a, b)
+	if df <= 0 {
+		return false
+	}
+	// Two-sided 5% critical values of Student's t, coarsely interpolated.
+	crit := 1.96
+	switch {
+	case df < 5:
+		crit = 2.78
+	case df < 10:
+		crit = 2.26
+	case df < 20:
+		crit = 2.09
+	case df < 40:
+		crit = 2.02
+	}
+	return math.Abs(t) > crit
+}
+
+// Summary bundles the descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    Min(xs),
+		Max:    Max(xs),
+		Median: Median(xs),
+	}
+}
+
+// String renders a summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.6g sd=%.3g min=%.6g med=%.6g max=%.6g",
+		s.N, s.Mean, s.StdDev, s.Min, s.Median, s.Max)
+}

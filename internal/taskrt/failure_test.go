@@ -1,0 +1,164 @@
+package taskrt
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/ilan-sched/ilan/internal/memsys"
+	"github.com/ilan-sched/ilan/internal/sim"
+)
+
+// Failure-injection tests: the runtime must fail loudly and diagnosably,
+// never hang or silently drop work.
+
+func TestEventLimitSurfacesAsError(t *testing.T) {
+	sch := &planScheduler{name: "spread", plan: spreadPlan}
+	rt := newTestRuntime(t, sch)
+	rt.Machine().Engine().SetLimit(10) // far below what the program needs
+	prog := &Program{
+		Name:     "p",
+		Loops:    []*LoopSpec{computeLoop(1, 64, 32, 1e-5)},
+		Sequence: []int{0, 0, 0},
+	}
+	_, err := rt.RunProgram(prog)
+	if !errors.Is(err, sim.ErrEventLimit) {
+		t.Fatalf("err = %v, want ErrEventLimit", err)
+	}
+}
+
+func TestPanickingDemandPropagates(t *testing.T) {
+	sch := &planScheduler{name: "spread", plan: spreadPlan}
+	rt := newTestRuntime(t, sch)
+	spec := &LoopSpec{
+		ID: 1, Name: "boom", Iters: 8, Tasks: 8,
+		Demand: func(lo, hi int) (float64, []memsys.Access) {
+			panic("injected demand failure")
+		},
+	}
+	rt.SubmitLoop(spec, nil)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("demand panic did not propagate")
+		}
+		if !strings.Contains(toString(r), "injected demand failure") {
+			t.Fatalf("unexpected panic payload: %v", r)
+		}
+	}()
+	_ = rt.Machine().Engine().Run()
+}
+
+func toString(v any) string {
+	if s, ok := v.(string); ok {
+		return s
+	}
+	if e, ok := v.(error); ok {
+		return e.Error()
+	}
+	return ""
+}
+
+func TestOutOfRangeAccessPanicsWithContext(t *testing.T) {
+	sch := &planScheduler{name: "spread", plan: spreadPlan}
+	rt := newTestRuntime(t, sch)
+	r := rt.Machine().Memory().NewRegion("tiny", memsys.BlockSize)
+	spec := &LoopSpec{
+		ID: 1, Name: "oob", Iters: 8, Tasks: 8,
+		Demand: func(lo, hi int) (float64, []memsys.Access) {
+			return 0, []memsys.Access{{Region: r, Offset: 0, Bytes: 10 * memsys.BlockSize,
+				Pattern: memsys.Stream}}
+		},
+	}
+	rt.SubmitLoop(spec, nil)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("out-of-range access did not panic")
+		}
+		if !strings.Contains(toString(r), "outside region") {
+			t.Fatalf("panic lacks context: %v", r)
+		}
+	}()
+	_ = rt.Machine().Engine().Run()
+}
+
+func TestSchedulerReturningBadPlanPanicsAtSubmit(t *testing.T) {
+	sch := &planScheduler{name: "bad", plan: func(rt *Runtime, spec *LoopSpec) *Plan {
+		return &Plan{Active: []int{0}, Mode: StealOff} // no placements
+	}}
+	rt := newTestRuntime(t, sch)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid plan accepted")
+		}
+	}()
+	rt.SubmitLoop(computeLoop(1, 8, 8, 1e-6), nil)
+}
+
+func TestStrictTasksWithStealOffStillComplete(t *testing.T) {
+	// Strictness is about stealing; with stealing off entirely, strict
+	// tasks bound to inactive-looking placements must still execute on
+	// their home queues.
+	sch := &planScheduler{name: "strictoff", plan: func(rt *Runtime, spec *LoopSpec) *Plan {
+		p := &Plan{Active: []int{0, 4, 8, 12}, Mode: StealOff}
+		for ti := 0; ti < spec.Tasks; ti++ {
+			lo, hi := spec.ChunkBounds(ti)
+			p.Place = append(p.Place, TaskPlacement{
+				Lo: lo, Hi: hi, Core: []int{0, 4, 8, 12}[ti%4], Strict: true})
+		}
+		return p
+	}}
+	rt := newTestRuntime(t, sch)
+	var st *LoopStats
+	rt.SubmitLoop(computeLoop(1, 16, 16, 1e-5), func(s *LoopStats) { st = s })
+	if err := rt.Machine().Engine().Run(); err != nil {
+		t.Fatal(err)
+	}
+	if st == nil {
+		t.Fatal("loop never completed")
+	}
+	total := 0
+	for _, n := range st.NodeTasks {
+		total += n
+	}
+	if total != 16 {
+		t.Fatalf("executed %d tasks, want 16", total)
+	}
+}
+
+func TestRunProgramRejectsInvalidProgram(t *testing.T) {
+	sch := &planScheduler{name: "spread", plan: spreadPlan}
+	rt := newTestRuntime(t, sch)
+	if _, err := rt.RunProgram(&Program{Name: "empty"}); err == nil {
+		t.Fatal("empty program accepted")
+	}
+}
+
+func TestRunProgramRejectsConcurrentUse(t *testing.T) {
+	sch := &planScheduler{name: "spread", plan: spreadPlan}
+	rt := newTestRuntime(t, sch)
+	spec := computeLoop(1, 8, 8, 1e-6)
+	rt.SubmitLoop(spec, nil) // loop in flight, engine not yet run
+	prog := &Program{Name: "p", Loops: []*LoopSpec{spec}, Sequence: []int{0}}
+	if _, err := rt.RunProgram(prog); err == nil {
+		t.Fatal("RunProgram accepted while a loop is in flight")
+	}
+}
+
+func TestNilSchedulerAndMachinePanic(t *testing.T) {
+	m := newTestRuntime(t, &planScheduler{name: "x", plan: spreadPlan}).Machine()
+	for name, f := range map[string]func(){
+		"nil machine":   func() { New(nil, &planScheduler{name: "x", plan: spreadPlan}, DefaultCosts()) },
+		"nil scheduler": func() { New(m, nil, DefaultCosts()) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			f()
+		})
+	}
+}

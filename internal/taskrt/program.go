@@ -1,0 +1,96 @@
+package taskrt
+
+import (
+	"fmt"
+
+	"github.com/ilan-sched/ilan/internal/sim"
+)
+
+// Program is a whole application run expressed as a sequence of taskloop
+// executions with barriers between them: the distinct loops (each a PTT
+// identity) and the order they execute in. A timestep-based benchmark is a
+// Sequence that repeats its per-step loops once per timestep.
+type Program struct {
+	Name     string
+	Loops    []*LoopSpec
+	Sequence []int // indices into Loops, in execution order
+}
+
+// Validate checks program consistency.
+func (p *Program) Validate() error {
+	if p == nil {
+		return fmt.Errorf("taskrt: nil program")
+	}
+	if len(p.Loops) == 0 || len(p.Sequence) == 0 {
+		return fmt.Errorf("taskrt: program %q is empty", p.Name)
+	}
+	ids := make(map[int]bool)
+	for _, l := range p.Loops {
+		if err := l.Validate(); err != nil {
+			return err
+		}
+		if ids[l.ID] {
+			return fmt.Errorf("taskrt: program %q reuses loop ID %d", p.Name, l.ID)
+		}
+		ids[l.ID] = true
+	}
+	for _, s := range p.Sequence {
+		if s < 0 || s >= len(p.Loops) {
+			return fmt.Errorf("taskrt: program %q sequence index %d out of range", p.Name, s)
+		}
+	}
+	return nil
+}
+
+// RunResult aggregates a full program run.
+type RunResult struct {
+	Elapsed        sim.Duration // total virtual wall time of the run
+	OverheadSec    float64      // accumulated scheduling overhead
+	LoopExecutions int
+	TasksExecuted  uint64
+	StealsLocal    int
+	StealsRemote   int
+	StealAttempts  int
+	// WeightedAvgThreads is the execution-time-weighted mean number of
+	// active threads across the run's loops — the quantity of Figure 3.
+	WeightedAvgThreads float64
+}
+
+// RunProgram executes the program to completion and returns the aggregate
+// result. It drives the engine itself; the engine must be otherwise idle.
+func (rt *Runtime) RunProgram(p *Program) (*RunResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if rt.cur != nil {
+		return nil, fmt.Errorf("taskrt: RunProgram while a loop is in flight")
+	}
+	start := rt.eng.Now()
+	tasksBefore := rt.mach.TasksStarted()
+
+	var step func(i int)
+	step = func(i int) {
+		if i == len(p.Sequence) {
+			return
+		}
+		rt.SubmitLoop(p.Loops[p.Sequence[i]], func(*LoopStats) { step(i + 1) })
+	}
+	step(0)
+	if err := rt.eng.Run(); err != nil {
+		return nil, fmt.Errorf("taskrt: program %q: %w", p.Name, err)
+	}
+
+	res := &RunResult{
+		Elapsed:        rt.eng.Now() - start,
+		OverheadSec:    rt.overheadSec,
+		LoopExecutions: rt.loopExecutions,
+		TasksExecuted:  rt.mach.TasksStarted() - tasksBefore,
+		StealsLocal:    rt.stealsLocal,
+		StealsRemote:   rt.stealsRemote,
+		StealAttempts:  rt.stealAttempts,
+	}
+	if rt.elapsedLoopSec > 0 {
+		res.WeightedAvgThreads = rt.weightedThreadSec / rt.elapsedLoopSec
+	}
+	return res, nil
+}

@@ -1,0 +1,404 @@
+package taskrt
+
+import (
+	"fmt"
+
+	"github.com/ilan-sched/ilan/internal/machine"
+	"github.com/ilan-sched/ilan/internal/sim"
+	"github.com/ilan-sched/ilan/internal/topology"
+)
+
+// Costs are the virtual-time prices of runtime operations. They follow the
+// order of magnitude of the LLVM runtime's task-management paths on the
+// paper's platform (fractions of a microsecond per operation). Victim scans
+// and barriers scale with the number of threads involved, which is what
+// makes narrow ILAN configurations cheaper to synchronize — the effect the
+// paper's Figure 5 measures.
+type Costs struct {
+	TaskCreate sim.Duration // per task, charged to the master at submission
+	Dispatch   sim.Duration // per task acquisition (pop or steal)
+	VictimScan sim.Duration // per victim deque inspected while stealing
+	Barrier    sim.Duration // per active thread joining the loop barrier
+}
+
+// DefaultCosts returns the calibration used by the experiments.
+func DefaultCosts() Costs {
+	return Costs{
+		TaskCreate: 250e-9,
+		Dispatch:   120e-9,
+		VictimScan: 10e-9,
+		Barrier:    100e-9,
+	}
+}
+
+// Runtime executes taskloops on a simulated machine under a Scheduler.
+// One Runtime corresponds to one application run: its scheduler state
+// (e.g. ILAN's PTT) starts cold and persists across all loops of the run.
+type Runtime struct {
+	mach  *machine.Machine
+	topo  *topology.Machine
+	eng   *sim.Engine
+	costs Costs
+	sched Scheduler
+	rng   *sim.RNG
+
+	threads []*thread
+	cur     *loopExec
+	energy  machine.EnergyModel
+	trace   *Trace
+
+	// Run-level aggregates.
+	overheadSec       float64
+	elapsedLoopSec    float64
+	weightedThreadSec float64
+	stealsLocal       int
+	stealsRemote      int
+	stealAttempts     int
+	loopExecutions    int
+}
+
+type thread struct {
+	core    int
+	node    int
+	deque   []*Task // owner pops from the back, thieves scan from the front
+	idle    bool
+	pending bool // a dispatch event is already scheduled
+}
+
+type loopExec struct {
+	spec        *LoopSpec
+	plan        *Plan
+	remaining   int
+	start       sim.Time
+	startJoules float64
+	exec        int // execution ordinal for tracing
+	startCtrs   machine.Counters
+	st          LoopStats
+	done        func(*LoopStats)
+}
+
+// New builds a runtime over a machine with the given scheduler.
+func New(mach *machine.Machine, sched Scheduler, costs Costs) *Runtime {
+	if mach == nil {
+		panic("taskrt: nil machine")
+	}
+	if sched == nil {
+		panic("taskrt: nil scheduler")
+	}
+	rt := &Runtime{
+		mach:   mach,
+		topo:   mach.Topology(),
+		eng:    mach.Engine(),
+		costs:  costs,
+		sched:  sched,
+		rng:    mach.RNG().Split(0x7a5b),
+		energy: machine.DefaultEnergy(),
+	}
+	for c := 0; c < rt.topo.NumCores(); c++ {
+		rt.threads = append(rt.threads, &thread{
+			core: c,
+			node: rt.topo.NodeOfCore(c),
+			idle: true,
+		})
+	}
+	return rt
+}
+
+// Machine returns the simulated machine.
+func (rt *Runtime) Machine() *machine.Machine { return rt.mach }
+
+// Topology returns the machine topology.
+func (rt *Runtime) Topology() *topology.Machine { return rt.topo }
+
+// Scheduler returns the active scheduler.
+func (rt *Runtime) Scheduler() Scheduler { return rt.sched }
+
+// SetEnergyModel replaces the energy model used to attribute per-loop
+// energy in LoopStats (default: machine.DefaultEnergy).
+func (rt *Runtime) SetEnergyModel(em machine.EnergyModel) { rt.energy = em }
+
+// EnergyModel returns the runtime's energy model.
+func (rt *Runtime) EnergyModel() machine.EnergyModel { return rt.energy }
+
+// SubmitLoop starts one taskloop execution. done fires after the barrier.
+// Loops are serialized: submitting while one is in flight panics, matching
+// the structure of the benchmarks (taskloop + implicit barrier).
+func (rt *Runtime) SubmitLoop(spec *LoopSpec, done func(*LoopStats)) {
+	if rt.cur != nil {
+		panic(fmt.Sprintf("taskrt: loop %q submitted while %q is running", spec.Name, rt.cur.spec.Name))
+	}
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	plan := rt.sched.Plan(rt, spec)
+	if err := plan.Validate(spec, rt.topo.NumCores()); err != nil {
+		panic(err)
+	}
+
+	le := &loopExec{
+		spec:        spec,
+		plan:        plan,
+		remaining:   len(plan.Place),
+		start:       rt.eng.Now(),
+		startJoules: rt.mach.EnergyJoules(rt.energy),
+		done:        done,
+	}
+	le.st.NodeTaskSeconds = make([]float64, rt.topo.NumNodes())
+	le.st.NodeTasks = make([]int, rt.topo.NumNodes())
+	le.st.ActiveThreads = len(plan.Active)
+	if rt.trace != nil {
+		le.exec = rt.trace.beginLoop(spec)
+	}
+	le.startCtrs = rt.mach.Counters()
+	rt.cur = le
+
+	setup := sim.Duration(plan.SelectOverheadSec) +
+		rt.costs.TaskCreate*sim.Duration(len(plan.Place))
+	rt.chargeOverhead(float64(setup))
+
+	rt.eng.After(setup, func() {
+		for _, tp := range plan.Place {
+			th := rt.threads[tp.Core]
+			home := th.node
+			th.deque = append(th.deque, &Task{Lo: tp.Lo, Hi: tp.Hi, Strict: tp.Strict, Home: home})
+		}
+		for _, c := range plan.Active {
+			rt.wake(c)
+		}
+	})
+}
+
+// wake schedules a dispatch attempt for an idle thread.
+func (rt *Runtime) wake(core int) {
+	th := rt.threads[core]
+	if !th.idle || th.pending {
+		return
+	}
+	th.pending = true
+	rt.eng.After(0, func() { rt.dispatch(th) })
+}
+
+// dispatch makes a thread acquire and execute its next task, or go idle.
+// Idle threads need no mid-loop wakeups: tasks are only enqueued at loop
+// start, so work available to a given thread is monotonically consumed —
+// once a thread finds nothing it is allowed to take, that stays true for
+// the rest of the loop.
+func (rt *Runtime) dispatch(th *thread) {
+	th.pending = false
+	le := rt.cur
+	if le == nil {
+		th.idle = true
+		return
+	}
+	task := th.pop()
+	var stolen, remote bool
+	var scanned int
+	var victim *thread
+	if task == nil {
+		task, remote, scanned, victim = rt.trySteal(th)
+		stolen = task != nil
+	}
+	if stolen && remote && victim != nil && le.plan.StealChunk > 1 {
+		// Chunked remote steal (shepherd-style): transfer extra eligible
+		// tasks into the thief's own deque so its node's subsequent
+		// dispatches are local pops instead of further remote steals.
+		for n := 1; n < le.plan.StealChunk; n++ {
+			extra := victim.stealFor(th.node, rt.rng)
+			if extra == nil {
+				break
+			}
+			th.deque = append(th.deque, extra)
+		}
+	}
+	cost := rt.costs.Dispatch + rt.costs.VictimScan*sim.Duration(scanned)
+	if task == nil {
+		// A failed full scan still costs bookkeeping time before the
+		// thread parks; charge it to overhead (the thread is idle anyway,
+		// so no virtual-time delay is modelled).
+		rt.chargeOverhead(float64(rt.costs.VictimScan * sim.Duration(scanned)))
+		th.idle = true
+		return
+	}
+	th.idle = false
+
+	if stolen {
+		rt.stealAttempts++
+		le.st.StealAttempts++
+		if remote {
+			rt.stealsRemote++
+			le.st.StealsRemote++
+		} else {
+			rt.stealsLocal++
+			le.st.StealsLocal++
+		}
+	}
+	rt.chargeOverhead(float64(cost))
+
+	spec := le.spec
+	stolenEv, remoteEv := stolen, remote
+	rt.eng.After(cost, func() {
+		compute, acc := spec.Demand(task.Lo, task.Hi)
+		started := rt.eng.Now()
+		rt.mach.Exec(th.core, compute, acc, func() {
+			if rt.trace != nil {
+				rt.trace.record(TaskEvent{
+					LoopID: spec.ID, LoopName: spec.Name, Exec: le.exec,
+					Lo: task.Lo, Hi: task.Hi, Core: th.core, Node: th.node,
+					StartSec: float64(started), EndSec: float64(rt.eng.Now()),
+					Stolen: stolenEv, Remote: remoteEv,
+				})
+			}
+			rt.onTaskDone(th, float64(rt.eng.Now()-started))
+		})
+	})
+}
+
+func (rt *Runtime) onTaskDone(th *thread, durSec float64) {
+	le := rt.cur
+	if le == nil {
+		panic("taskrt: task completed outside a loop")
+	}
+	le.st.NodeTaskSeconds[th.node] += durSec
+	le.st.NodeTasks[th.node]++
+	le.remaining--
+	if le.remaining == 0 {
+		th.idle = true
+		rt.finishLoop(le)
+		return
+	}
+	rt.dispatch(th)
+}
+
+func (rt *Runtime) finishLoop(le *loopExec) {
+	barrier := rt.costs.Barrier * sim.Duration(len(le.plan.Active))
+	rt.chargeOverhead(float64(barrier))
+	rt.eng.After(barrier, func() {
+		le.st.Elapsed = rt.eng.Now() - le.start
+		le.st.EnergyJoules = rt.mach.EnergyJoules(rt.energy) - le.startJoules
+		endCtrs := rt.mach.Counters()
+		le.st.ComputeSeconds = endCtrs.ComputeSeconds - le.startCtrs.ComputeSeconds
+		le.st.MemorySeconds = endCtrs.MemorySeconds - le.startCtrs.MemorySeconds
+		if rt.trace != nil {
+			rt.trace.endLoop(le.spec, le.exec, le.start, rt.eng.Now(), le.st.ActiveThreads)
+		}
+		rt.cur = nil
+		rt.loopExecutions++
+		rt.elapsedLoopSec += float64(le.st.Elapsed)
+		rt.weightedThreadSec += float64(le.st.Elapsed) * float64(le.st.ActiveThreads)
+		rt.sched.Observe(rt, le.spec, &le.st)
+		if le.done != nil {
+			le.done(&le.st)
+		}
+	})
+}
+
+func (rt *Runtime) chargeOverhead(sec float64) {
+	rt.overheadSec += sec
+	if rt.cur != nil {
+		rt.cur.st.OverheadSec += sec
+	}
+}
+
+// trySteal searches for a stealable task per the current plan's mode.
+// It reports the task, whether it crossed NUMA nodes, how many victim
+// deques were inspected (for overhead accounting), and the victim thread
+// (for chunked steals).
+func (rt *Runtime) trySteal(th *thread) (*Task, bool, int, *thread) {
+	plan := rt.cur.plan
+	scanned := 0
+	switch plan.Mode {
+	case StealOff:
+		return nil, false, 0, nil
+	case StealFlat:
+		for _, i := range rt.rng.Perm(len(plan.Active)) {
+			v := rt.threads[plan.Active[i]]
+			if v == th {
+				continue
+			}
+			scanned++
+			if t := v.stealFor(th.node, rt.rng); t != nil {
+				return t, v.node != th.node, scanned, v
+			}
+		}
+		return nil, false, scanned, nil
+	case StealHierarchical:
+		var local, remoteV []*thread
+		for _, c := range plan.Active {
+			v := rt.threads[c]
+			if v == th {
+				continue
+			}
+			if v.node == th.node {
+				local = append(local, v)
+			} else {
+				remoteV = append(remoteV, v)
+			}
+		}
+		for _, i := range rt.rng.Perm(len(local)) {
+			scanned++
+			if t := local[i].stealFor(th.node, rt.rng); t != nil {
+				return t, false, scanned, local[i]
+			}
+		}
+		// The local scan found every same-node deque empty, so the
+		// thief's node is out of queued work: inter-node stealing is
+		// allowed if the plan permits it.
+		if plan.InterNodeSteal {
+			for _, i := range rt.rng.Perm(len(remoteV)) {
+				scanned++
+				if t := remoteV[i].stealFor(th.node, rt.rng); t != nil {
+					return t, true, scanned, remoteV[i]
+				}
+			}
+		}
+		return nil, false, scanned, nil
+	default:
+		panic(fmt.Sprintf("taskrt: unknown steal mode %v", plan.Mode))
+	}
+}
+
+// pop takes the owner's newest task (LIFO).
+func (th *thread) pop() *Task {
+	n := len(th.deque)
+	if n == 0 {
+		return nil
+	}
+	t := th.deque[n-1]
+	th.deque = th.deque[:n-1]
+	return t
+}
+
+// stealFor removes and returns a uniformly random task a thief from
+// thiefNode may take, honouring NUMA-strictness. Random-position stealing
+// models how the LLVM runtime's recursive taskloop splitting scatters
+// stolen iteration subtrees across the machine: a FIFO discipline would
+// make the in-flight tasks a consecutive iteration window, clustering
+// their traffic on one or two memory controllers — a pathology the real
+// runtime does not exhibit.
+func (th *thread) stealFor(thiefNode int, rng *sim.RNG) *Task {
+	eligible := 0
+	for _, t := range th.deque {
+		if !t.Strict || t.Home == thiefNode {
+			eligible++
+		}
+	}
+	if eligible == 0 {
+		return nil
+	}
+	pick := rng.Intn(eligible)
+	for i, t := range th.deque {
+		if t.Strict && t.Home != thiefNode {
+			continue
+		}
+		if pick == 0 {
+			th.deque = append(th.deque[:i], th.deque[i+1:]...)
+			return t
+		}
+		pick--
+	}
+	panic("taskrt: stealFor bookkeeping error")
+}
+
+// QueuedTasks reports the number of tasks currently queued on a core
+// (diagnostics and tests).
+func (rt *Runtime) QueuedTasks(core int) int { return len(rt.threads[core].deque) }

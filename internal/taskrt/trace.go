@@ -1,0 +1,126 @@
+package taskrt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/ilan-sched/ilan/internal/sim"
+)
+
+// TaskEvent records one task execution for offline analysis (timelines,
+// placement heatmaps, steal-flow graphs).
+type TaskEvent struct {
+	LoopID   int     `json:"loop"`
+	LoopName string  `json:"loopName"`
+	Exec     int     `json:"exec"` // which execution of the loop (1-based)
+	Lo       int     `json:"lo"`
+	Hi       int     `json:"hi"`
+	Core     int     `json:"core"`
+	Node     int     `json:"node"`
+	StartSec float64 `json:"start"`
+	EndSec   float64 `json:"end"`
+	Stolen   bool    `json:"stolen"`
+	Remote   bool    `json:"remote"` // stolen across NUMA nodes
+}
+
+// LoopMark records one taskloop execution's boundaries.
+type LoopMark struct {
+	LoopID    int     `json:"loop"`
+	LoopName  string  `json:"loopName"`
+	Exec      int     `json:"exec"`
+	SubmitSec float64 `json:"submit"`
+	DoneSec   float64 `json:"done"`
+	Threads   int     `json:"threads"`
+}
+
+// Trace accumulates events when tracing is enabled on a Runtime.
+type Trace struct {
+	Tasks []TaskEvent `json:"tasks"`
+	Loops []LoopMark  `json:"loops"`
+
+	execCount map[int]int
+}
+
+// EnableTracing turns on task-event recording. Call before running a
+// program; the trace grows by one record per task execution.
+func (rt *Runtime) EnableTracing() *Trace {
+	if rt.trace == nil {
+		rt.trace = &Trace{execCount: make(map[int]int)}
+	}
+	return rt.trace
+}
+
+// Trace returns the active trace, or nil when tracing is off.
+func (rt *Runtime) Trace() *Trace { return rt.trace }
+
+func (tr *Trace) beginLoop(spec *LoopSpec) int {
+	tr.execCount[spec.ID]++
+	return tr.execCount[spec.ID]
+}
+
+// WriteJSON emits the trace as a single JSON document.
+func (tr *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(tr)
+}
+
+// WriteJSONL emits the trace as JSON lines: one "loop" or "task" object per
+// line, timeline-ordered by start time within each kind.
+func (tr *Trace) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, l := range tr.Loops {
+		if err := enc.Encode(struct {
+			Kind string `json:"kind"`
+			LoopMark
+		}{"loop", l}); err != nil {
+			return err
+		}
+	}
+	for _, t := range tr.Tasks {
+		if err := enc.Encode(struct {
+			Kind string `json:"kind"`
+			TaskEvent
+		}{"task", t}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary returns a compact human-readable digest of the trace.
+func (tr *Trace) Summary(numNodes int) string {
+	perNode := make([]int, numNodes)
+	stolen, remote := 0, 0
+	var busy float64
+	for _, t := range tr.Tasks {
+		perNode[t.Node]++
+		if t.Stolen {
+			stolen++
+		}
+		if t.Remote {
+			remote++
+		}
+		busy += t.EndSec - t.StartSec
+	}
+	s := fmt.Sprintf("%d task events over %d loop executions; %d stolen (%d across nodes)\n",
+		len(tr.Tasks), len(tr.Loops), stolen, remote)
+	s += "tasks per node:"
+	for n, c := range perNode {
+		s += fmt.Sprintf(" n%d=%d", n, c)
+	}
+	if len(tr.Tasks) > 0 {
+		s += fmt.Sprintf("\nmean task duration %.3f ms", 1e3*busy/float64(len(tr.Tasks)))
+	}
+	return s
+}
+
+// record appends a task event (called from the runtime's completion path).
+func (tr *Trace) record(ev TaskEvent) { tr.Tasks = append(tr.Tasks, ev) }
+
+func (tr *Trace) endLoop(spec *LoopSpec, exec int, submit, done sim.Time, threads int) {
+	tr.Loops = append(tr.Loops, LoopMark{
+		LoopID: spec.ID, LoopName: spec.Name, Exec: exec,
+		SubmitSec: float64(submit), DoneSec: float64(done), Threads: threads,
+	})
+}

@@ -1,0 +1,127 @@
+// Package textchart renders small horizontal bar charts as text — enough
+// to eyeball the paper's figures straight from a terminal without plotting
+// dependencies.
+package textchart
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one labelled group of bars.
+type Series struct {
+	Label  string
+	Values []float64
+}
+
+// Chart describes a horizontal bar chart.
+type Chart struct {
+	Title string
+	// Rows are the category labels (one group of bars per row).
+	Rows []string
+	// Series hold one value per row each.
+	Series []Series
+	// Reference draws a vertical marker at this value (0 = none) — e.g.
+	// the 1.0x parity line of a speedup chart.
+	Reference float64
+	// Width is the bar area width in runes (default 48).
+	Width int
+	// Unit is appended to the printed values.
+	Unit string
+}
+
+// Render writes the chart.
+func (c *Chart) Render(w io.Writer) error {
+	if len(c.Rows) == 0 || len(c.Series) == 0 {
+		return fmt.Errorf("textchart: empty chart")
+	}
+	for _, s := range c.Series {
+		if len(s.Values) != len(c.Rows) {
+			return fmt.Errorf("textchart: series %q has %d values for %d rows",
+				s.Label, len(s.Values), len(c.Rows))
+		}
+	}
+	width := c.Width
+	if width <= 0 {
+		width = 48
+	}
+	maxVal := c.Reference
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	if maxVal <= 0 || math.IsNaN(maxVal) || math.IsInf(maxVal, 0) {
+		return fmt.Errorf("textchart: no positive values to plot")
+	}
+
+	labelW := 0
+	for _, r := range c.Rows {
+		if len(r) > labelW {
+			labelW = len(r)
+		}
+	}
+	for _, s := range c.Series {
+		if len(s.Label) > labelW {
+			labelW = len(s.Label)
+		}
+	}
+
+	if c.Title != "" {
+		fmt.Fprintln(w, c.Title)
+	}
+	refCol := -1
+	if c.Reference > 0 {
+		refCol = int(c.Reference / maxVal * float64(width))
+		if refCol >= width {
+			refCol = width - 1
+		}
+	}
+	glyphs := []byte{'#', '=', '-', '+', '~'}
+	for i, row := range c.Rows {
+		for si, s := range c.Series {
+			v := s.Values[i]
+			n := int(v / maxVal * float64(width))
+			if n < 0 {
+				n = 0
+			}
+			if n > width {
+				n = width
+			}
+			bar := []byte(strings.Repeat(string(glyphs[si%len(glyphs)]), n) +
+				strings.Repeat(" ", width-n))
+			if refCol >= 0 {
+				if refCol < n {
+					bar[refCol] = '|'
+				} else {
+					bar[refCol] = '.'
+				}
+			}
+			name := row
+			if len(c.Series) > 1 {
+				name = s.Label
+			}
+			prefix := fmt.Sprintf("%-*s ", labelW, name)
+			if len(c.Series) > 1 && si == 0 {
+				fmt.Fprintf(w, "%s\n", row)
+			}
+			fmt.Fprintf(w, "  %s%s %.3f%s\n", prefix, string(bar), v, c.Unit)
+		}
+	}
+	if c.Reference > 0 {
+		fmt.Fprintf(w, "  %-*s %s\n", labelW, "", refMarkerLine(width, refCol, c.Reference, c.Unit))
+	}
+	return nil
+}
+
+func refMarkerLine(width, refCol int, ref float64, unit string) string {
+	line := []byte(strings.Repeat(" ", width))
+	if refCol >= 0 && refCol < width {
+		line[refCol] = '^'
+	}
+	return fmt.Sprintf("%s %.1f%s reference", string(line), ref, unit)
+}

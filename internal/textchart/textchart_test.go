@@ -1,0 +1,97 @@
+package textchart
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderSingleSeries(t *testing.T) {
+	c := &Chart{
+		Title:     "speedups",
+		Rows:      []string{"FT", "SP"},
+		Series:    []Series{{Label: "ilan", Values: []float64{1.16, 1.52}}},
+		Reference: 1.0,
+		Width:     40,
+		Unit:      "x",
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"speedups", "FT", "SP", "1.160x", "1.520x", "reference"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// SP's bar must be longer than FT's.
+	ftBar := strings.Count(lineWith(out, "FT"), "#")
+	spBar := strings.Count(lineWith(out, "SP"), "#")
+	if spBar <= ftBar {
+		t.Fatalf("SP bar (%d) not longer than FT bar (%d):\n%s", spBar, ftBar, out)
+	}
+}
+
+func TestRenderMultiSeries(t *testing.T) {
+	c := &Chart{
+		Rows: []string{"CG"},
+		Series: []Series{
+			{Label: "ilan", Values: []float64{1.19}},
+			{Label: "worksharing", Values: []float64{1.10}},
+		},
+		Reference: 1,
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ilan") || !strings.Contains(out, "worksharing") {
+		t.Fatalf("series labels missing:\n%s", out)
+	}
+	// Different glyphs per series.
+	if !strings.Contains(out, "#") || !strings.Contains(out, "=") {
+		t.Fatalf("series glyphs missing:\n%s", out)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Chart{}).Render(&buf); err == nil {
+		t.Fatal("empty chart accepted")
+	}
+	bad := &Chart{Rows: []string{"a", "b"}, Series: []Series{{Label: "s", Values: []float64{1}}}}
+	if err := bad.Render(&buf); err == nil {
+		t.Fatal("mismatched series accepted")
+	}
+	zero := &Chart{Rows: []string{"a"}, Series: []Series{{Label: "s", Values: []float64{0}}}}
+	if err := zero.Render(&buf); err == nil {
+		t.Fatal("all-zero chart accepted")
+	}
+}
+
+func TestBarsClampToWidth(t *testing.T) {
+	c := &Chart{
+		Rows:   []string{"a"},
+		Series: []Series{{Label: "s", Values: []float64{100}}},
+		Width:  10,
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "#"); n != 10 {
+		t.Fatalf("bar has %d glyphs, want width 10", n)
+	}
+}
+
+// lineWith returns the first output line containing the substring.
+func lineWith(out, sub string) string {
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, sub) {
+			return l
+		}
+	}
+	return ""
+}

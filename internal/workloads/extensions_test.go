@@ -1,0 +1,114 @@
+package workloads
+
+import (
+	"testing"
+
+	ilansched "github.com/ilan-sched/ilan/internal/ilan"
+	"github.com/ilan-sched/ilan/internal/sched"
+	"github.com/ilan-sched/ilan/internal/taskrt"
+)
+
+func TestExtensionsRegistry(t *testing.T) {
+	if len(Extensions()) != 3 {
+		t.Fatalf("want 3 extension benchmarks, got %d", len(Extensions()))
+	}
+	if len(AllWithExtensions()) != 10 {
+		t.Fatalf("want 10 total benchmarks, got %d", len(AllWithExtensions()))
+	}
+	for _, name := range []string{"EP", "MG", "IS"} {
+		if _, ok := ByName(name); !ok {
+			t.Errorf("extension %s not resolvable by name", name)
+		}
+	}
+}
+
+func TestExtensionProgramsValidateAndRun(t *testing.T) {
+	for _, b := range Extensions() {
+		t.Run(b.Name, func(t *testing.T) {
+			m := newMachine()
+			p := b.Build(m, ClassTest)
+			if err := p.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			rt := taskrt.New(m, &sched.Baseline{}, taskrt.DefaultCosts())
+			res, err := rt.RunProgram(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.TasksExecuted == 0 {
+				t.Fatal("no tasks executed")
+			}
+		})
+	}
+}
+
+// TestEPIsSchedulerNeutral: with no shared data and perfect balance, ILAN
+// must stay within a few percent of the baseline on EP (the null case).
+func TestEPIsSchedulerNeutral(t *testing.T) {
+	run := func(s taskrt.Scheduler) float64 {
+		m := newMachine()
+		b, _ := ByName("EP")
+		rt := taskrt.New(m, s, taskrt.DefaultCosts())
+		res, err := rt.RunProgram(b.Build(m, ClassTest))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.Elapsed)
+	}
+	base := run(&sched.Baseline{})
+	il := run(ilansched.New(ilansched.DefaultOptions()))
+	ratio := il / base
+	// At the short test scale, exploration probes (half- and mid-width
+	// runs of a perfectly scaling loop) cost up to ~15%.
+	if ratio < 0.9 || ratio > 1.25 {
+		t.Fatalf("EP ILAN/baseline ratio = %g, want ~1", ratio)
+	}
+	// Counter-guided selection skips those probes and must close the gap.
+	opts := ilansched.DefaultOptions()
+	opts.CounterGuided = true
+	guided := run(ilansched.New(opts)) / base
+	if guided >= ratio {
+		t.Fatalf("counter-guided EP ratio %g not better than plain %g", guided, ratio)
+	}
+	if guided > 1.06 {
+		t.Fatalf("counter-guided EP ratio = %g, want ~1", guided)
+	}
+}
+
+// TestISMoldsLikeSP: the bucket sort is gather-heavy, so ILAN should
+// reduce its width like it does for SP.
+func TestISMoldsLikeSP(t *testing.T) {
+	m := newMachine()
+	b, _ := ByName("IS")
+	s := ilansched.New(ilansched.DefaultOptions())
+	rt := taskrt.New(m, s, taskrt.DefaultCosts())
+	res, err := rt.RunProgram(b.Build(m, ClassPaper))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WeightedAvgThreads > 56 {
+		t.Fatalf("IS not molded: weighted avg threads = %g", res.WeightedAvgThreads)
+	}
+}
+
+// TestMGLevelsGetIndependentConfigs: each V-cycle level is a separate
+// taskloop with its own PTT entry.
+func TestMGLevelsGetIndependentConfigs(t *testing.T) {
+	m := newMachine()
+	b, _ := ByName("MG")
+	s := ilansched.New(ilansched.DefaultOptions())
+	rt := taskrt.New(m, s, taskrt.DefaultCosts())
+	prog := b.Build(m, ClassTest)
+	if _, err := rt.RunProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	settled := 0
+	for _, l := range prog.Loops {
+		if _, phase, ok := s.ChosenConfig(l.ID); ok && phase == ilansched.PhaseSettled {
+			settled++
+		}
+	}
+	if settled != len(prog.Loops) {
+		t.Fatalf("only %d of %d MG loops settled", settled, len(prog.Loops))
+	}
+}

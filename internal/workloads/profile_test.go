@@ -1,0 +1,93 @@
+package workloads
+
+import (
+	"testing"
+
+	"github.com/ilan-sched/ilan/internal/sched"
+	"github.com/ilan-sched/ilan/internal/taskrt"
+)
+
+// Model-characterization tests: the paper classifies each benchmark by its
+// scheduler-visible profile. These tests pin the models to those classes
+// using the simulated performance counters, so future parameter edits
+// cannot silently change a benchmark's character.
+
+// profile runs a benchmark under the baseline and returns its global
+// memory intensity and cache hit rate.
+func profile(t *testing.T, name string) (intensity, hitRate float64) {
+	t.Helper()
+	m := newMachine()
+	b, ok := ByName(name)
+	if !ok {
+		t.Fatalf("unknown benchmark %s", name)
+	}
+	rt := taskrt.New(m, &sched.Baseline{}, taskrt.DefaultCosts())
+	if _, err := rt.RunProgram(b.Build(m, ClassTest)); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Counters()
+	return c.MemoryIntensity(), c.CacheHitRate()
+}
+
+func TestMatmulIsComputeBound(t *testing.T) {
+	intensity, _ := profile(t, "Matmul")
+	if intensity > 0.25 {
+		t.Fatalf("Matmul memory intensity = %.2f, want < 0.25 (high arithmetic intensity)", intensity)
+	}
+}
+
+func TestSPIsBandwidthStarved(t *testing.T) {
+	intensity, _ := profile(t, "SP")
+	if intensity < 0.5 {
+		t.Fatalf("SP memory intensity = %.2f, want > 0.5 (the paper's most bandwidth-bound kernel)", intensity)
+	}
+}
+
+func TestCGIsMemoryBound(t *testing.T) {
+	intensity, _ := profile(t, "CG")
+	if intensity < 0.4 {
+		t.Fatalf("CG memory intensity = %.2f, want > 0.4", intensity)
+	}
+}
+
+func TestOrderingMatchesPaperCharacterization(t *testing.T) {
+	// SP most memory bound; Matmul least; BT more compute-rich than SP.
+	sp, _ := profile(t, "SP")
+	bt, _ := profile(t, "BT")
+	mm, _ := profile(t, "Matmul")
+	cg, _ := profile(t, "CG")
+	if !(mm < bt && bt < sp) {
+		t.Fatalf("intensity ordering violated: Matmul %.2f, BT %.2f, SP %.2f", mm, bt, sp)
+	}
+	if cg <= mm {
+		t.Fatalf("CG (%.2f) should be more memory bound than Matmul (%.2f)", cg, mm)
+	}
+}
+
+func TestMatmulReusesCache(t *testing.T) {
+	_, hit := profile(t, "Matmul")
+	if hit < 0.5 {
+		t.Fatalf("Matmul cache hit rate = %.2f, want > 0.5 (resident tile set)", hit)
+	}
+}
+
+func TestStreamGridsDoNotFitCache(t *testing.T) {
+	// Class-D-like grids dwarf the caches: FT's hit rate must stay low.
+	_, hit := profile(t, "FT")
+	if hit > 0.35 {
+		t.Fatalf("FT cache hit rate = %.2f, want < 0.35 (working set exceeds L3)", hit)
+	}
+}
+
+func TestEPHasNegligibleTraffic(t *testing.T) {
+	m := newMachine()
+	b, _ := ByName("EP")
+	rt := taskrt.New(m, &sched.Baseline{}, taskrt.DefaultCosts())
+	if _, err := rt.RunProgram(b.Build(m, ClassTest)); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Counters()
+	if c.MemoryIntensity() > 0.1 {
+		t.Fatalf("EP memory intensity = %.2f, want < 0.1 (embarrassingly parallel)", c.MemoryIntensity())
+	}
+}
