@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench race cover figures smoke clean
+.PHONY: all check build vet test bench race cover figures smoke clean
 
-all: build vet test
+all: check
+
+# The default gate: build, vet, tests, and a race-detector pass over the
+# parallel experiment executor.
+check: build vet test race
 
 build:
 	$(GO) build ./...
@@ -19,8 +23,9 @@ test:
 bench:
 	$(GO) test -bench=. -benchmem -run=NONE .
 
-# The simulation is single-threaded by design, but the race detector keeps
-# the test harness itself honest.
+# Each simulated run is single-threaded by design, but the harness fans
+# independent runs across goroutines (internal/harness/pool.go), so the
+# race detector guards the executor as well as the tests themselves.
 race:
 	$(GO) test -race ./...
 

@@ -13,6 +13,7 @@ package ilan_test
 import (
 	"testing"
 
+	"github.com/ilan-sched/ilan/internal/harness"
 	ilansched "github.com/ilan-sched/ilan/internal/ilan"
 	"github.com/ilan-sched/ilan/internal/machine"
 	"github.com/ilan-sched/ilan/internal/memsys"
@@ -372,5 +373,52 @@ func BenchmarkFullCampaignCG(b *testing.B) {
 	w, _ := workloads.ByName("CG")
 	for i := 0; i < b.N; i++ {
 		runBench(b, w, newILAN, uint64(i))
+	}
+}
+
+// BenchmarkCampaignJobs measures the parallel experiment executor: the
+// same small campaign run sequentially and fanned across workers. On a
+// multi-core host the jobsN variant shows the wall-clock win; on one core
+// it bounds the pool's overhead. vsec carries the (identical) simulated
+// output so a result change is visible in the metrics.
+func BenchmarkCampaignJobs(b *testing.B) {
+	campaign := func(jobs int) float64 {
+		cfg := harness.Config{
+			Class: workloads.ClassTest,
+			Reps:  4,
+			Seed:  7,
+			Jobs:  jobs,
+			Noise: machine.NoiseConfig{Enabled: false},
+			Topo:  topology.SmallTest(),
+		}
+		benches := []workloads.Benchmark{}
+		for _, name := range []string{"CG", "FT"} {
+			w, _ := workloads.ByName(name)
+			benches = append(benches, w)
+		}
+		mx, err := harness.Run(benches, []harness.Kind{harness.KindBaseline, harness.KindILAN}, cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var total float64
+		mx.EachCell(func(c *harness.Cell) {
+			for _, s := range c.Samples {
+				total += s.ElapsedSec
+			}
+		})
+		return total
+	}
+	for _, tc := range []struct {
+		name string
+		jobs int
+	}{{"jobs1", 1}, {"jobsN", 0}} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				total = campaign(tc.jobs)
+			}
+			b.ReportMetric(total, "vsec")
+		})
 	}
 }

@@ -6,6 +6,7 @@
 //
 //	ilanexp -exp fig2                # Figure 2 (ILAN vs baseline speedup)
 //	ilanexp -exp all -reps 30        # every figure and table, paper setup
+//	ilanexp -exp all -jobs 8         # same campaign across 8 workers
 //	ilanexp -exp fig6 -bench CG,FT   # subset of benchmarks
 //	ilanexp -exp fig2 -class test    # reduced scale (fast smoke run)
 package main
@@ -26,6 +27,7 @@ import (
 func main() {
 	exp := flag.String("exp", "fig2", "experiment: fig2|fig3|fig4|table1|fig5|fig6|affinity|counters|related|oracle|all")
 	reps := flag.Int("reps", 30, "repetitions per (benchmark, scheduler) pair")
+	jobs := flag.Int("jobs", 0, "parallel workers for independent runs (0 = GOMAXPROCS, 1 = sequential)")
 	class := flag.String("class", "paper", "benchmark scale: paper|test")
 	benchList := flag.String("bench", "", "comma-separated benchmark subset (default: all)")
 	seed := flag.Uint64("seed", 2025, "base random seed")
@@ -41,6 +43,7 @@ func main() {
 	cfg := harness.DefaultConfig()
 	cfg.Reps = *reps
 	cfg.Seed = *seed
+	cfg.Jobs = *jobs
 	spec, ok := topology.Presets()[*topo]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "ilanexp: unknown topology %q\n", *topo)
@@ -124,7 +127,8 @@ func main() {
 
 	progress := func(bench string, k harness.Kind) {
 		if !*quiet {
-			fmt.Fprintf(os.Stderr, "running %-8s %-12s (%d reps)\n", bench, k, cfg.Reps)
+			fmt.Fprintf(os.Stderr, "queued %-8s %-12s (%d reps, %d jobs)\n",
+				bench, k, cfg.Reps, harness.DefaultJobs(cfg.Jobs))
 		}
 	}
 	start := time.Now()

@@ -28,6 +28,7 @@ func main() {
 	param := flag.String("param", "beta", "parameter: alpha|beta|controllerbw|corebw|linkbw")
 	valuesArg := flag.String("values", "0,0.0003,0.001,0.003", "comma-separated parameter values")
 	reps := flag.Int("reps", 2, "repetitions per point")
+	jobs := flag.Int("jobs", 0, "parallel workers for independent runs (0 = GOMAXPROCS, 1 = sequential)")
 	class := flag.String("class", "test", "benchmark scale: paper|test")
 	seed := flag.Uint64("seed", 7, "base seed")
 	flag.Parse()
@@ -50,6 +51,7 @@ func main() {
 		Class: workloads.ClassTest,
 		Reps:  *reps,
 		Seed:  *seed,
+		Jobs:  *jobs,
 		Noise: machine.NoiseConfig{Enabled: false},
 		Topo:  topology.Zen4Vera(),
 	}

@@ -96,6 +96,10 @@ type Config struct {
 	Class workloads.Class
 	Reps  int
 	Seed  uint64
+	// Jobs bounds the worker goroutines the executor fans independent
+	// runs across (see pool.go). 0 selects GOMAXPROCS; 1 forces the
+	// sequential path. Results are byte-identical for every value.
+	Jobs  int
 	Noise machine.NoiseConfig
 	Topo  topology.Spec // zero value selects Zen4Vera
 	// Disturb, when non-nil, injects a sustained external interferer on
@@ -228,15 +232,20 @@ func RunOne(b workloads.Benchmark, k Kind, cfg Config, rep int) (RunSample, erro
 	}, nil
 }
 
-// RunCell executes all repetitions of one (benchmark, kind) pair.
+// RunCell executes all repetitions of one (benchmark, kind) pair,
+// fanning them across cfg.Jobs workers. Samples stay in repetition order.
 func RunCell(b workloads.Benchmark, k Kind, cfg Config) (*Cell, error) {
-	c := &Cell{Bench: b.Name, Kind: k}
-	for rep := 0; rep < cfg.Reps; rep++ {
+	c := &Cell{Bench: b.Name, Kind: k, Samples: make([]RunSample, cfg.Reps)}
+	err := ForEach(cfg.Jobs, cfg.Reps, func(rep int) error {
 		s, err := RunOne(b, k, cfg, rep)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		c.Samples = append(c.Samples, s)
+		c.Samples[rep] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return c, nil
 }
@@ -247,11 +256,21 @@ type Matrix struct {
 	cells   map[string]map[Kind]*Cell
 }
 
-// Run executes the full campaign for the given benchmarks and kinds.
-// progress, if non-nil, is called before each cell starts.
+// Run executes the full campaign for the given benchmarks and kinds. The
+// (benchmark, kind, rep) units are independent, so they all fan out across
+// one cfg.Jobs-bounded pool; results are merged in input order, making the
+// matrix identical to a sequential run. progress, if non-nil, is called
+// from the calling goroutine as each cell is enqueued.
 func Run(benches []workloads.Benchmark, kinds []Kind, cfg Config,
 	progress func(bench string, k Kind)) (*Matrix, error) {
 	mx := &Matrix{cells: make(map[string]map[Kind]*Cell)}
+	type unit struct {
+		bench workloads.Benchmark
+		kind  Kind
+		rep   int
+		cell  *Cell
+	}
+	var units []unit
 	for _, b := range benches {
 		mx.Benches = append(mx.Benches, b.Name)
 		mx.cells[b.Name] = make(map[Kind]*Cell)
@@ -259,12 +278,24 @@ func Run(benches []workloads.Benchmark, kinds []Kind, cfg Config,
 			if progress != nil {
 				progress(b.Name, k)
 			}
-			cell, err := RunCell(b, k, cfg)
-			if err != nil {
-				return nil, err
-			}
+			cell := &Cell{Bench: b.Name, Kind: k, Samples: make([]RunSample, cfg.Reps)}
 			mx.cells[b.Name][k] = cell
+			for rep := 0; rep < cfg.Reps; rep++ {
+				units = append(units, unit{bench: b, kind: k, rep: rep, cell: cell})
+			}
 		}
+	}
+	err := ForEach(cfg.Jobs, len(units), func(i int) error {
+		u := units[i]
+		s, err := RunOne(u.bench, u.kind, cfg, u.rep)
+		if err != nil {
+			return err
+		}
+		u.cell.Samples[u.rep] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return mx, nil
 }

@@ -42,37 +42,38 @@ func (r *OracleResult) Efficiency() float64 {
 	return r.Best.MeanSec / r.ILANSec
 }
 
-// runFixed measures one fixed (threads, policy) configuration.
-func runFixedConfig(b workloads.Benchmark, threads int, full bool, cfg Config) (float64, error) {
-	var times []float64
-	for rep := 0; rep < cfg.Reps; rep++ {
-		topoSpec := cfg.Topo
-		if topoSpec.Sockets == 0 {
-			topoSpec = topology.Zen4Vera()
-		}
-		m := machine.New(machine.Config{
-			Topo:  topology.MustNew(topoSpec),
-			Seed:  cfg.Seed ^ (uint64(rep)+1)*0x9e3779b97f4a7c15,
-			Noise: cfg.Noise,
-			Alpha: -1,
-		})
-		opts := ilan.DefaultOptions()
-		opts.FixedThreads = threads
-		opts.FixedStealFull = full
-		rt := taskrt.New(m, ilan.New(opts), taskrt.DefaultCosts())
-		res, err := rt.RunProgram(b.Build(m, cfg.Class))
-		if err != nil {
-			return 0, err
-		}
-		times = append(times, float64(res.Elapsed))
+// runFixedOnce measures one repetition of a fixed (threads, policy)
+// configuration on a fresh machine; seeds match RunOne's per-rep scheme.
+func runFixedOnce(b workloads.Benchmark, threads int, full bool, cfg Config, rep int) (float64, error) {
+	topoSpec := cfg.Topo
+	if topoSpec.Sockets == 0 {
+		topoSpec = topology.Zen4Vera()
 	}
-	return stats.Mean(times), nil
+	m := machine.New(machine.Config{
+		Topo:  topology.MustNew(topoSpec),
+		Seed:  cfg.Seed ^ (uint64(rep)+1)*0x9e3779b97f4a7c15,
+		Noise: cfg.Noise,
+		Alpha: -1,
+	})
+	opts := ilan.DefaultOptions()
+	opts.FixedThreads = threads
+	opts.FixedStealFull = full
+	rt := taskrt.New(m, ilan.New(opts), taskrt.DefaultCosts())
+	res, err := rt.RunProgram(b.Build(m, cfg.Class))
+	if err != nil {
+		return 0, err
+	}
+	return float64(res.Elapsed), nil
 }
 
 // RunOracle evaluates every fixed width (in granularity steps of the NUMA
 // node size) under both steal policies for each benchmark, and compares the
 // best fixed configuration against ILAN's online search — quantifying both
 // the headroom of Algorithm 1's non-exhaustive exploration and its cost.
+// The (configuration, rep) units of each benchmark fan out across one
+// cfg.Jobs-bounded pool; points keep their enumeration order. progress, if
+// non-nil, is called from the calling goroutine as each configuration is
+// enqueued.
 func RunOracle(benches []workloads.Benchmark, cfg Config,
 	progress func(bench string, threads int, full bool)) ([]OracleResult, error) {
 	topoSpec := cfg.Topo
@@ -81,23 +82,44 @@ func RunOracle(benches []workloads.Benchmark, cfg Config,
 	}
 	topo := topology.MustNew(topoSpec)
 	g := topo.NodeSize()
+	type fixedPoint struct {
+		threads int
+		full    bool
+	}
+	var pts []fixedPoint
+	for threads := g; threads <= topo.NumCores(); threads += g {
+		for _, full := range []bool{false, true} {
+			pts = append(pts, fixedPoint{threads: threads, full: full})
+		}
+	}
 	var out []OracleResult
 	for _, b := range benches {
 		r := OracleResult{Bench: b.Name}
-		for threads := g; threads <= topo.NumCores(); threads += g {
-			for _, full := range []bool{false, true} {
-				if progress != nil {
-					progress(b.Name, threads, full)
-				}
-				mean, err := runFixedConfig(b, threads, full, cfg)
-				if err != nil {
-					return nil, err
-				}
-				p := OraclePoint{Threads: threads, StealFull: full, MeanSec: mean}
-				r.Points = append(r.Points, p)
-				if r.Best.MeanSec == 0 || mean < r.Best.MeanSec {
-					r.Best = p
-				}
+		times := make([][]float64, len(pts))
+		for pi, p := range pts {
+			if progress != nil {
+				progress(b.Name, p.threads, p.full)
+			}
+			times[pi] = make([]float64, cfg.Reps)
+		}
+		err := ForEach(cfg.Jobs, len(pts)*cfg.Reps, func(i int) error {
+			pi, rep := i/cfg.Reps, i%cfg.Reps
+			sec, err := runFixedOnce(b, pts[pi].threads, pts[pi].full, cfg, rep)
+			if err != nil {
+				return err
+			}
+			times[pi][rep] = sec
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for pi, pt := range pts {
+			p := OraclePoint{Threads: pt.threads, StealFull: pt.full,
+				MeanSec: stats.Mean(times[pi])}
+			r.Points = append(r.Points, p)
+			if r.Best.MeanSec == 0 || p.MeanSec < r.Best.MeanSec {
+				r.Best = p
 			}
 		}
 		ilanCell, err := RunCell(b, KindILAN, cfg)

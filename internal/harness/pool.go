@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// The parallel experiment executor.
+//
+// Every simulated run in this repro is independent and bit-reproducible
+// per seed: RunOne builds a fresh Machine, Runtime, and Scheduler for each
+// (benchmark, kind, rep) unit, and nothing in the simulator packages keeps
+// package-level mutable state. The executor exploits that by fanning the
+// units of a campaign across a bounded pool of goroutines while keeping
+// every observable output byte-identical to the sequential path:
+//
+//   - Units are dispatched in input order and their results are written
+//     into pre-sized slices by index, so aggregation order never depends
+//     on goroutine scheduling.
+//   - Seeds derive from (cfg.Seed, rep) exactly as before; a run's result
+//     does not depend on which worker executes it.
+//   - Schedulers are stateful (the PTT), so a scheduler instance is never
+//     shared between workers — each unit constructs its own.
+//   - On failure, the error for the lowest-numbered unit is returned, the
+//     same error the sequential loop would have surfaced first.
+
+// DefaultJobs resolves a jobs setting: values < 1 select GOMAXPROCS (use
+// every core the Go runtime will schedule on).
+func DefaultJobs(jobs int) int {
+	if jobs > 0 {
+		return jobs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(0), ..., fn(n-1) across up to jobs worker goroutines
+// (jobs < 1 selects GOMAXPROCS) and returns the error of the
+// lowest-numbered failing call, or nil. A panic inside fn is recovered and
+// reported as that call's error instead of killing the campaign. Calls are
+// dispatched in index order; after the first failure no new calls start,
+// but already-started ones run to completion, so the returned error is
+// deterministic whenever fn is deterministic per index.
+func ForEach(jobs, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	jobs = DefaultJobs(jobs)
+	if jobs > n {
+		jobs = n
+	}
+	if jobs == 1 {
+		for i := 0; i < n; i++ {
+			if err := runSafe(fn, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, n)
+	idx := make(chan int)
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		failed bool
+	)
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := runSafe(fn, i); err != nil {
+					errs[i] = err
+					mu.Lock()
+					failed = true
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		mu.Lock()
+		stop := failed
+		mu.Unlock()
+		if stop {
+			break
+		}
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runSafe invokes fn(i), converting a panic into an error so one broken
+// run cannot take down the rest of the campaign.
+func runSafe(fn func(int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("harness: run %d panicked: %v\n%s", i, r, debug.Stack())
+		}
+	}()
+	return fn(i)
+}

@@ -1,0 +1,263 @@
+package harness
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/ilan-sched/ilan/internal/workloads"
+)
+
+// The tests in this file run under t.Parallel(): the harness keeps no
+// package-level mutable state, and testConfig() returns a fresh value per
+// call, so concurrent campaigns must not interfere — that property is
+// exactly what the worker pool relies on.
+
+func TestForEachRunsAllIndices(t *testing.T) {
+	t.Parallel()
+	for _, jobs := range []int{1, 3, 8, 0} {
+		var seen sync.Map
+		var count atomic.Int64
+		if err := ForEach(jobs, 100, func(i int) error {
+			if _, dup := seen.LoadOrStore(i, true); dup {
+				return fmt.Errorf("index %d ran twice", i)
+			}
+			count.Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		if count.Load() != 100 {
+			t.Fatalf("jobs=%d: ran %d of 100 indices", jobs, count.Load())
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	t.Parallel()
+	boom3 := errors.New("boom 3")
+	for _, jobs := range []int{1, 2, 8} {
+		err := ForEach(jobs, 20, func(i int) error {
+			switch i {
+			case 3:
+				return boom3
+			case 7:
+				return errors.New("boom 7")
+			}
+			return nil
+		})
+		if !errors.Is(err, boom3) {
+			t.Fatalf("jobs=%d: got %v, want the index-3 error", jobs, err)
+		}
+	}
+}
+
+func TestForEachStopsDispatchAfterError(t *testing.T) {
+	t.Parallel()
+	var ran atomic.Int64
+	err := ForEach(2, 1000, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return errors.New("early failure")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("error lost")
+	}
+	if n := ran.Load(); n > 100 {
+		t.Fatalf("%d of 1000 jobs ran after an index-0 failure", n)
+	}
+}
+
+func TestForEachRecoversPanics(t *testing.T) {
+	t.Parallel()
+	for _, jobs := range []int{1, 4} {
+		var completed atomic.Int64
+		err := ForEach(jobs, 10, func(i int) error {
+			if i == 2 {
+				panic("kaboom")
+			}
+			completed.Add(1)
+			return nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "panicked") ||
+			!strings.Contains(err.Error(), "kaboom") {
+			t.Fatalf("jobs=%d: panic not surfaced as error: %v", jobs, err)
+		}
+		if completed.Load() == 0 {
+			t.Fatalf("jobs=%d: panic killed every other run", jobs)
+		}
+	}
+}
+
+func TestForEachZeroAndNegativeN(t *testing.T) {
+	t.Parallel()
+	for _, n := range []int{0, -5} {
+		if err := ForEach(4, n, func(int) error { return errors.New("never") }); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestDefaultJobsResolution(t *testing.T) {
+	t.Parallel()
+	if DefaultJobs(7) != 7 {
+		t.Fatal("explicit jobs overridden")
+	}
+	if DefaultJobs(0) < 1 || DefaultJobs(-1) < 1 {
+		t.Fatal("defaulted jobs below 1")
+	}
+}
+
+// TestRunParallelMatchesSequential is the executor's determinism contract:
+// the same campaign run sequentially and with 8 workers must produce
+// byte-identical reports and bit-identical samples.
+func TestRunParallelMatchesSequential(t *testing.T) {
+	t.Parallel()
+	benches := []workloads.Benchmark{mustBench(t, "CG"), mustBench(t, "Matmul")}
+	kinds, err := KindsFor("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqCfg := testConfig()
+	seqCfg.Reps = 3
+	seqCfg.Jobs = 1
+	parCfg := seqCfg
+	parCfg.Jobs = 8
+
+	seq, err := Run(benches, kinds, seqCfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(benches, kinds, parCfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var seqCells, parCells []*Cell
+	seq.EachCell(func(c *Cell) { seqCells = append(seqCells, c) })
+	par.EachCell(func(c *Cell) { parCells = append(parCells, c) })
+	if len(seqCells) != len(parCells) {
+		t.Fatalf("cell counts differ: %d vs %d", len(seqCells), len(parCells))
+	}
+	for i := range seqCells {
+		s, p := seqCells[i], parCells[i]
+		if s.Bench != p.Bench || s.Kind != p.Kind || len(s.Samples) != len(p.Samples) {
+			t.Fatalf("cell %d shape differs: %s/%v vs %s/%v", i, s.Bench, s.Kind, p.Bench, p.Kind)
+		}
+		for r := range s.Samples {
+			if s.Samples[r] != p.Samples[r] {
+				t.Fatalf("%s/%v rep %d diverged:\nseq: %+v\npar: %+v",
+					s.Bench, s.Kind, r, s.Samples[r], p.Samples[r])
+			}
+		}
+	}
+
+	for _, exp := range []string{"fig2", "table1", "all"} {
+		var a, b bytes.Buffer
+		if err := Report(&a, exp, seq); err != nil {
+			t.Fatal(err)
+		}
+		if err := Report(&b, exp, par); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("report %s not byte-identical between jobs=1 and jobs=8", exp)
+		}
+	}
+}
+
+func TestRunCellParallelMatchesSequential(t *testing.T) {
+	t.Parallel()
+	b := mustBench(t, "FT")
+	seqCfg := testConfig()
+	seqCfg.Reps = 4
+	seqCfg.Jobs = 1
+	parCfg := seqCfg
+	parCfg.Jobs = 8
+	seq, err := RunCell(b, KindILAN, seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunCell(b, KindILAN, parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range seq.Samples {
+		if seq.Samples[r] != par.Samples[r] {
+			t.Fatalf("rep %d diverged: %+v vs %+v", r, seq.Samples[r], par.Samples[r])
+		}
+	}
+}
+
+func TestSweepParallelMatchesSequential(t *testing.T) {
+	t.Parallel()
+	b := mustBench(t, "CG")
+	seqCfg := testConfig()
+	seqCfg.Reps = 2
+	seqCfg.Jobs = 1
+	parCfg := seqCfg
+	parCfg.Jobs = 8
+	values := []float64{0, 0.001, 0.003}
+	seq, err := Sweep(b, SweepBeta, values, seqCfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Sweep(b, SweepBeta, values, parCfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("point counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("point %d diverged:\nseq: %+v\npar: %+v", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestOracleParallelMatchesSequential(t *testing.T) {
+	t.Parallel()
+	benches := []workloads.Benchmark{mustBench(t, "Matmul")}
+	seqCfg := testConfig()
+	seqCfg.Reps = 1
+	seqCfg.Jobs = 1
+	parCfg := seqCfg
+	parCfg.Jobs = 8
+	seq, err := RunOracle(benches, seqCfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunOracle(benches, parCfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	ReportOracle(&a, seq)
+	ReportOracle(&b, par)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("oracle reports differ:\nseq:\n%s\npar:\n%s", a.String(), b.String())
+	}
+}
+
+// TestRunPanicIsolation: a scheduler kind whose construction panics (an
+// unknown Kind) must surface as a campaign error, not crash the process —
+// one broken run cannot take down a multi-hour campaign.
+func TestRunPanicIsolation(t *testing.T) {
+	t.Parallel()
+	benches := []workloads.Benchmark{mustBench(t, "Matmul")}
+	for _, jobs := range []int{1, 4} {
+		cfg := testConfig()
+		cfg.Jobs = jobs
+		_, err := Run(benches, []Kind{KindBaseline, Kind(42)}, cfg, nil)
+		if err == nil || !strings.Contains(err.Error(), "panicked") {
+			t.Fatalf("jobs=%d: panic not isolated: %v", jobs, err)
+		}
+	}
+}

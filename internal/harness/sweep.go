@@ -32,43 +32,72 @@ type SweepPoint struct {
 	ILANSec     float64
 }
 
+// applyParam returns cfg with one machine-model parameter overridden.
+func applyParam(cfg Config, param SweepParam, v float64) (Config, error) {
+	c := cfg
+	vv := v
+	switch param {
+	case SweepAlpha:
+		c.Alpha = &vv
+	case SweepBeta:
+		c.Beta = &vv
+	case SweepControllerBW:
+		c.ControllerBW = vv
+	case SweepCoreBW:
+		c.CoreStreamBW = vv
+	case SweepLinkBW:
+		c.LinkBW = vv
+	default:
+		return cfg, fmt.Errorf("harness: unknown sweep parameter %q", param)
+	}
+	return c, nil
+}
+
 // Sweep runs a benchmark under the baseline and ILAN across values of one
 // machine-model parameter — the sensitivity curves behind the calibration
-// choices in DESIGN.md §5.
+// choices in DESIGN.md §5. The (value, scheduler, rep) units fan out
+// across one cfg.Jobs-bounded pool; points are assembled in value order,
+// so the curve is identical to a sequential run. progress, if non-nil, is
+// called from the calling goroutine as each value is enqueued.
 func Sweep(bench workloads.Benchmark, param SweepParam, values []float64,
 	cfg Config, progress func(v float64)) ([]SweepPoint, error) {
 	if len(values) == 0 {
 		return nil, fmt.Errorf("harness: sweep with no values")
 	}
-	var out []SweepPoint
-	for _, v := range values {
+	kinds := [2]Kind{KindBaseline, KindILAN}
+	cfgs := make([]Config, len(values))
+	cells := make([][2]*Cell, len(values))
+	for vi, v := range values {
 		if progress != nil {
 			progress(v)
 		}
-		c := cfg
-		vv := v
-		switch param {
-		case SweepAlpha:
-			c.Alpha = &vv
-		case SweepBeta:
-			c.Beta = &vv
-		case SweepControllerBW:
-			c.ControllerBW = vv
-		case SweepCoreBW:
-			c.CoreStreamBW = vv
-		case SweepLinkBW:
-			c.LinkBW = vv
-		default:
-			return nil, fmt.Errorf("harness: unknown sweep parameter %q", param)
-		}
-		base, err := RunCell(bench, KindBaseline, c)
+		c, err := applyParam(cfg, param, v)
 		if err != nil {
 			return nil, err
 		}
-		il, err := RunCell(bench, KindILAN, c)
-		if err != nil {
-			return nil, err
+		cfgs[vi] = c
+		for ki, k := range kinds {
+			cells[vi][ki] = &Cell{Bench: bench.Name, Kind: k,
+				Samples: make([]RunSample, cfg.Reps)}
 		}
+	}
+	perValue := len(kinds) * cfg.Reps
+	err := ForEach(cfg.Jobs, len(values)*perValue, func(i int) error {
+		vi, rest := i/perValue, i%perValue
+		ki, rep := rest/cfg.Reps, rest%cfg.Reps
+		s, err := RunOne(bench, kinds[ki], cfgs[vi], rep)
+		if err != nil {
+			return err
+		}
+		cells[vi][ki].Samples[rep] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SweepPoint, 0, len(values))
+	for vi, v := range values {
+		base, il := cells[vi][0], cells[vi][1]
 		bm, im := stats.Mean(base.Times()), stats.Mean(il.Times())
 		out = append(out, SweepPoint{
 			Value:       v,

@@ -43,21 +43,65 @@ func TestAdaptiveFractionReleasesGreensUnderPressure(t *testing.T) {
 		})
 	}
 	feed(4) // every green migrated
-	if got := ls.strictFrac; got >= 0.9 {
-		t.Fatalf("strict fraction %g did not decrease under migration pressure", got)
+	if got := ls.strictFracPct; got >= 90 {
+		t.Fatalf("strict fraction %d%% did not decrease under migration pressure", got)
 	}
 	// Sustained pressure hits the floor and stays there.
 	for i := 0; i < 20; i++ {
 		feed(99)
 	}
-	if ls.strictFrac != 0.25 {
-		t.Fatalf("strict fraction %g, want floor 0.25", ls.strictFrac)
+	if ls.strictFracPct != 25 {
+		t.Fatalf("strict fraction %d%%, want floor 25%%", ls.strictFracPct)
 	}
 	// Partial migration (some greens moved, not all): no change.
-	before := ls.strictFrac
+	before := ls.strictFracPct
 	feed(1)
-	if ls.strictFrac != before {
-		t.Fatalf("partial migration changed fraction %g -> %g", before, ls.strictFrac)
+	if ls.strictFracPct != before {
+		t.Fatalf("partial migration changed fraction %d%% -> %d%%", before, ls.strictFracPct)
+	}
+}
+
+// TestAdaptiveFractionStaysOnGrid is the regression test for the float
+// drift bug: repeated ±0.1 adjustments used to accumulate binary-float
+// error (0.75 -> 0.8500000000000001 -> ...), walking the fraction off the
+// 0.1 grid. The resolved fraction must stay bit-equal to grid literals.
+func TestAdaptiveFractionStaysOnGrid(t *testing.T) {
+	opts := DefaultOptions()
+	opts.AdaptiveStrictFraction = true // default StrictFraction 0.75
+	s := New(opts)
+	topo := smallTopo()
+	rt := newRuntime(t, s, 45e9)
+	ls := s.state(3, topo)
+	ls.phase = PhaseSettled
+	ls.pending = Config{Threads: 16, StealFull: true}
+	ls.lastGreens = 4
+	spec := &taskrt.LoopSpec{ID: 3, Name: "x"}
+	feed := func(remote int) {
+		s.Observe(rt, spec, &taskrt.LoopStats{
+			Elapsed:         1,
+			NodeTaskSeconds: make([]float64, topo.NumNodes()),
+			NodeTasks:       make([]int, topo.NumNodes()),
+			StealsRemote:    remote,
+		})
+	}
+	feed(0) // 0.75 + 0.1
+	if got := s.strictFraction(ls); got != 0.85 {
+		t.Fatalf("after one step up: fraction = %.17g, want exactly 0.85", got)
+	}
+	// Bounce up and down across the grid; the value must always land on
+	// an exact 0.05-grid literal, never a drifted neighbour.
+	onGrid := map[float64]bool{0.25: true, 0.35: true, 0.45: true, 0.55: true,
+		0.65: true, 0.75: true, 0.85: true, 0.95: true, 1.0: true, 0.9: true,
+		0.8: true, 0.7: true, 0.6: true, 0.5: true, 0.4: true, 0.3: true}
+	for i := 0; i < 40; i++ {
+		if i%3 == 0 {
+			feed(4) // down
+		} else {
+			feed(0) // up
+		}
+		if got := s.strictFraction(ls); !onGrid[got] {
+			t.Fatalf("step %d: fraction %.17g left the 0.05 grid", i, got)
+		}
 	}
 }
 
@@ -78,8 +122,8 @@ func TestAdaptiveFractionEndToEnd(t *testing.T) {
 	if res.LoopExecutions != 30 {
 		t.Fatalf("ran %d loops, want 30", res.LoopExecutions)
 	}
-	if f := s.loops[spec.ID].strictFrac; f != 0 && (f < 0.25 || f > 1) {
-		t.Fatalf("adapted fraction %g out of bounds", f)
+	if p := s.loops[spec.ID].strictFracPct; p != 0 && (p < 25 || p > 100) {
+		t.Fatalf("adapted fraction %d%% out of bounds", p)
 	}
 }
 
@@ -91,8 +135,8 @@ func TestAdaptiveFractionOffByDefault(t *testing.T) {
 	if _, err := rt.RunProgram(prog); err != nil {
 		t.Fatal(err)
 	}
-	if ls := s.loops[spec.ID]; ls.strictFrac != 0 {
-		t.Fatalf("strict fraction adapted (%g) with the feature off", ls.strictFrac)
+	if ls := s.loops[spec.ID]; ls.strictFracPct != 0 {
+		t.Fatalf("strict fraction adapted (%d%%) with the feature off", ls.strictFracPct)
 	}
 }
 
@@ -116,7 +160,7 @@ func TestAdaptiveFractionBoundedAbove(t *testing.T) {
 		}
 		s.Observe(newRuntime(t, s, 45e9), &taskrt.LoopSpec{ID: 1, Name: "x"}, st)
 	}
-	if ls.strictFrac != 1 {
-		t.Fatalf("strict fraction = %g after sustained zero migration, want 1", ls.strictFrac)
+	if ls.strictFracPct != 100 {
+		t.Fatalf("strict fraction = %d%% after sustained zero migration, want 100%%", ls.strictFracPct)
 	}
 }

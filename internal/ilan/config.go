@@ -112,11 +112,13 @@ type loopState struct {
 	// moldability; the search then settles at full width immediately.
 	skipExplore bool
 
-	// strictFrac is the loop's current strict/stealable split when
-	// adaptive migration tuning is on (0 = use the scheduler default);
-	// lastGreens is the number of stealable tasks the last plan created.
-	strictFrac float64
-	lastGreens int
+	// strictFracPct is the loop's current strict/stealable split in
+	// integer percent when adaptive migration tuning is on (0 = use the
+	// scheduler default). Kept on the 1/100 grid so the repeated ±0.1
+	// steps of §3.3 cannot accumulate binary-float drift; lastGreens is
+	// the number of stealable tasks the last plan created.
+	strictFracPct int
+	lastGreens    int
 
 	// history records every execution for diagnostics (ptttrace).
 	history []ExecRecord

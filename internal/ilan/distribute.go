@@ -1,6 +1,8 @@
 package ilan
 
 import (
+	"math"
+
 	"github.com/ilan-sched/ilan/internal/taskrt"
 	"github.com/ilan-sched/ilan/internal/topology"
 )
@@ -49,7 +51,13 @@ func (s *Scheduler) buildPlan(spec *taskrt.LoopSpec, topo *topology.Machine, cfg
 			nodeStart := nodeIdx * T / nNodes
 			nodeEnd := (nodeIdx + 1) * T / nNodes
 			span := nodeEnd - nodeStart
-			strictCount := int(strictFraction * float64(span))
+			strictCount := int(math.Round(strictFraction * float64(span)))
+			// A node must keep at least one strict task: truncation on a
+			// 1-task span would otherwise mark the node's only task
+			// stealable, inverting the "leading fraction strict" rule.
+			if strictCount < 1 && span > 0 && strictFraction > 0 {
+				strictCount = 1
+			}
 			strict = (t - nodeStart) < strictCount
 		}
 		plan.Place = append(plan.Place, taskrt.TaskPlacement{

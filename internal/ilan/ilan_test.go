@@ -219,6 +219,39 @@ func TestBuildPlanFullPolicySplitsStrictAndGreen(t *testing.T) {
 	}
 }
 
+// TestBuildPlanTinyLoopKeepsStrictTasks is the regression test for the
+// strict-count truncation bug: with fewer tasks than 2x the node count a
+// node's span is one task, and int(0.75*1) = 0 used to mark that node's
+// only task green — inverting the "leading fraction strict" rule. Every
+// node with tasks must keep at least one strict task.
+func TestBuildPlanTinyLoopKeepsStrictTasks(t *testing.T) {
+	topo := smallTopo() // 4 nodes
+	s := New(DefaultOptions())
+	for _, tasks := range []int{4, 6, 7} { // all < 2*nodes
+		ls := mkState(topo, 1, nil)
+		cfg := s.widen(ls, topo, 16)
+		cfg.StealFull = true
+		spec := &taskrt.LoopSpec{ID: 1, Name: "tiny", Iters: 64, Tasks: tasks,
+			Demand: func(lo, hi int) (float64, []memsys.Access) { return 0, nil }}
+		plan := s.buildPlan(spec, topo, cfg, s.opts.StrictFraction)
+		if err := plan.Validate(spec, topo.NumCores()); err != nil {
+			t.Fatal(err)
+		}
+		strictPerCore := map[int]int{}
+		for _, tp := range plan.Place {
+			if tp.Strict {
+				strictPerCore[tp.Core]++
+			}
+		}
+		for _, tp := range plan.Place {
+			if strictPerCore[tp.Core] == 0 {
+				t.Fatalf("tasks=%d: node primary core %d has no strict task",
+					tasks, tp.Core)
+			}
+		}
+	}
+}
+
 func TestBuildPlanContiguousNodeMapping(t *testing.T) {
 	topo := smallTopo()
 	s := New(DefaultOptions())

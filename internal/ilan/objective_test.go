@@ -54,6 +54,33 @@ func TestEnergyObjectiveMoldsAtLeastAsNarrow(t *testing.T) {
 	}
 }
 
+// TestRegretInObjectiveUnit is the regression test for the regret/objective
+// mismatch: under ObjectiveEnergy the PTT settles on Score (joules), so the
+// regret must be computed from Score too, not from elapsed seconds. The
+// synthetic history makes the two units disagree by construction.
+func TestRegretInObjectiveUnit(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Objective = ObjectiveEnergy
+	s := New(opts)
+	ls := s.state(1, smallTopo())
+	ls.history = []ExecRecord{
+		// Exploration: 5 J over the settled mean, but only 0.001 s slower.
+		{K: 1, Phase: PhaseExplore, ElapsedSec: 1.001, Score: 15},
+		{K: 2, Phase: PhaseSettled, ElapsedSec: 1.0, Score: 10},
+		{K: 3, Phase: PhaseSettled, ElapsedSec: 1.0, Score: 10},
+	}
+	extra, mean, ok := s.Regret(1)
+	if !ok {
+		t.Fatal("regret unavailable")
+	}
+	if mean != 10 {
+		t.Fatalf("settled mean = %g, want 10 (joules)", mean)
+	}
+	if extra != 5 {
+		t.Fatalf("exploration regret = %g, want 5 (joules, from Score)", extra)
+	}
+}
+
 func TestHistoryRecordsScore(t *testing.T) {
 	opts := DefaultOptions()
 	opts.Objective = ObjectiveEnergy

@@ -2,6 +2,7 @@ package ilan
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/ilan-sched/ilan/internal/taskrt"
 	"github.com/ilan-sched/ilan/internal/topology"
@@ -206,10 +207,11 @@ func (s *Scheduler) Plan(rt *taskrt.Runtime, spec *taskrt.LoopSpec) *taskrt.Plan
 
 // strictFraction resolves the strict/stealable split for a loop: the
 // adapted per-loop value when migration tuning is on, the global option
-// otherwise.
+// otherwise. Adapted values come off the integer-percent grid, so equal
+// tuning states always yield bit-equal fractions.
 func (s *Scheduler) strictFraction(ls *loopState) float64 {
-	if s.opts.AdaptiveStrictFraction && ls.strictFrac > 0 {
-		return ls.strictFrac
+	if s.opts.AdaptiveStrictFraction && ls.strictFracPct > 0 {
+		return float64(ls.strictFracPct) / 100
 	}
 	return s.opts.StrictFraction
 }
@@ -406,23 +408,29 @@ func (s *Scheduler) Observe(rt *taskrt.Runtime, spec *taskrt.LoopSpec, st *taskr
 		// when enabled, tune the migration level from the observed
 		// remote-steal pressure.
 		if s.opts.AdaptiveStrictFraction && ls.pending.StealFull {
-			frac := s.strictFraction(ls)
+			// The ±0.1 steps run on an integer-percent grid: float
+			// arithmetic (0.75 -> 0.8500000000000001 -> ...) would drift
+			// off the documented 0.1 grid within [0.25, 1.0].
+			pct := ls.strictFracPct
+			if pct == 0 {
+				pct = int(math.Round(100 * s.opts.StrictFraction))
+			}
 			switch {
 			case ls.lastGreens > 0 && st.StealsRemote >= ls.lastGreens:
 				// Every green task migrated: the load balancer is
 				// starved; release more tasks.
-				frac -= 0.1
+				pct -= 10
 			case st.StealsRemote == 0:
 				// No migration happened: reclaim locality.
-				frac += 0.1
+				pct += 10
 			}
-			if frac < 0.25 {
-				frac = 0.25
+			if pct < 25 {
+				pct = 25
 			}
-			if frac > 1 {
-				frac = 1
+			if pct > 100 {
+				pct = 100
 			}
-			ls.strictFrac = frac
+			ls.strictFracPct = pct
 		}
 	}
 
@@ -446,11 +454,14 @@ func (s *Scheduler) ChosenConfig(loopID int) (cfg Config, phase Phase, ok bool) 
 	return ls.pending, ls.phase, true
 }
 
-// Regret quantifies what a loop's exploration cost: the summed extra time
-// of its pre-settlement executions relative to the mean settled execution
-// time. It returns the exploration overhead in seconds, the settled mean,
-// and ok=false when the loop has no settled executions to compare against.
-func (s *Scheduler) Regret(loopID int) (explorationSec, settledMeanSec float64, ok bool) {
+// Regret quantifies what a loop's exploration cost: the summed extra
+// objective value of its pre-settlement executions relative to the mean
+// settled execution. Both return values are in the unit of the active
+// Objective — seconds under ObjectiveTime, joules under ObjectiveEnergy,
+// joule-seconds under ObjectiveEDP — so the regret is always measured in
+// the quantity the search actually optimized. ok is false when the loop
+// has no settled executions to compare against.
+func (s *Scheduler) Regret(loopID int) (exploration, settledMean float64, ok bool) {
 	ls, found := s.loops[loopID]
 	if !found {
 		return 0, 0, false
@@ -459,7 +470,7 @@ func (s *Scheduler) Regret(loopID int) (explorationSec, settledMeanSec float64, 
 	var settledN int
 	for _, rec := range ls.history {
 		if rec.Phase == PhaseSettled {
-			settledSum += rec.ElapsedSec
+			settledSum += rec.Score
 			settledN++
 		}
 	}
@@ -470,7 +481,7 @@ func (s *Scheduler) Regret(loopID int) (explorationSec, settledMeanSec float64, 
 	var extra float64
 	for _, rec := range ls.history {
 		if rec.Phase != PhaseSettled {
-			extra += rec.ElapsedSec - mean
+			extra += rec.Score - mean
 		}
 	}
 	return extra, mean, true
