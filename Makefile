@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test bench race cover figures smoke clean
+.PHONY: all check build vet test bench bench-all race cover figures smoke clean
 
 all: check
 
@@ -19,8 +19,14 @@ vet:
 test:
 	$(GO) test ./...
 
-# Full benchmark sweep (figures, ablations, micro-benches).
+# Hot-path benchmarks (event engine, dispatch/steal loop, full campaign)
+# with allocation stats; the JSON snapshot records the perf trajectory.
 bench:
+	$(GO) test -bench='BenchmarkEngineEvents|BenchmarkDispatchSteal|BenchmarkFullCampaignCG' \
+		-benchmem -run=NONE . | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_hotpath.json
+
+# Full benchmark sweep (figures, ablations, micro-benches).
+bench-all:
 	$(GO) test -bench=. -benchmem -run=NONE .
 
 # Each simulated run is single-threaded by design, but the harness fans

@@ -312,6 +312,55 @@ func BenchmarkEngineEvents(b *testing.B) {
 	}
 }
 
+// masterQueueSched is a fixed scheduler for the dispatch/steal
+// micro-benchmark: every task lands on core 0's deque, every other thread
+// must steal hierarchically (inter-node allowed, chunked transfers), which
+// maximizes victim scans per dispatch.
+type masterQueueSched struct{ chunk int }
+
+func (s *masterQueueSched) Name() string { return "bench-masterq" }
+func (s *masterQueueSched) Plan(rt *taskrt.Runtime, spec *taskrt.LoopSpec) *taskrt.Plan {
+	p := &taskrt.Plan{
+		Active:         make([]int, rt.Topology().NumCores()),
+		Place:          make([]taskrt.TaskPlacement, 0, spec.Tasks),
+		Mode:           taskrt.StealHierarchical,
+		InterNodeSteal: true,
+		StealChunk:     s.chunk,
+	}
+	for c := range p.Active {
+		p.Active[c] = c
+	}
+	for t := 0; t < spec.Tasks; t++ {
+		lo, hi := spec.ChunkBounds(t)
+		p.Place = append(p.Place, taskrt.TaskPlacement{Lo: lo, Hi: hi, Core: 0})
+	}
+	return p
+}
+func (s *masterQueueSched) Observe(*taskrt.Runtime, *taskrt.LoopSpec, *taskrt.LoopStats) {}
+
+// BenchmarkDispatchSteal measures the taskrt dispatch/steal loop in
+// isolation: compute-only tasks keep the machine model trivial, so ns/op
+// approximates the scheduling cost per dispatched task (pop or steal,
+// victim shuffle, chunk transfer, completion bookkeeping).
+func BenchmarkDispatchSteal(b *testing.B) {
+	b.ReportAllocs()
+	const tasksPerLoop = 1024
+	m := benchMachine(1)
+	rt := taskrt.New(m, &masterQueueSched{chunk: 4}, taskrt.DefaultCosts())
+	spec := &taskrt.LoopSpec{
+		ID: 1, Name: "steal", Iters: tasksPerLoop, Tasks: tasksPerLoop,
+		Demand: func(lo, hi int) (float64, []memsys.Access) { return 1e-7, nil },
+	}
+	eng := m.Engine()
+	b.ResetTimer()
+	for done := 0; done < b.N; done += tasksPerLoop {
+		rt.SubmitLoop(spec, nil)
+		if err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkMachineExec measures the fluid-model task execution path with
 // contention refreshes across 64 concurrently running tasks.
 func BenchmarkMachineExec(b *testing.B) {

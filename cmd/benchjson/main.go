@@ -1,0 +1,86 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// stable JSON snapshot on stdout, so benchmark runs can be archived and
+// diffed across commits (the BENCH_hotpath.json perf trajectory).
+//
+// Usage:
+//
+//	go test -bench='Engine|Campaign' -benchmem -run=NONE . | benchjson > BENCH_hotpath.json
+//
+// Every benchmark result line becomes one object carrying the iteration
+// count and a metric map keyed by unit ("ns/op", "B/op", "allocs/op", and
+// any custom b.ReportMetric units like "speedup" or "vsec"). Environment
+// header lines (goos, goarch, pkg, cpu) are carried through verbatim.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Snapshot is the whole converted run.
+type Snapshot struct {
+	Env     map[string]string `json:"env"`
+	Results []Result          `json:"results"`
+}
+
+func main() {
+	snap := Snapshot{Env: map[string]string{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"), strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			snap.Env[k] = strings.TrimSpace(v)
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseLine(line); ok {
+				snap.Results = append(snap.Results, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine decodes "BenchmarkName-8  1234  56.7 ns/op  0 B/op ..." into a
+// Result; value/unit pairs follow the iteration count.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, len(r.Metrics) > 0
+}

@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -38,7 +40,36 @@ func main() {
 	out := flag.String("out", "", "also write the campaign as JSON (for resultdiff)")
 	label := flag.String("label", "", "label stored in the -out file")
 	in := flag.String("in", "", "render reports from a saved campaign JSON instead of running")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
+	memprofile := flag.String("memprofile", "", "write a heap-allocation profile to this file at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ilanexp:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ilanexp:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ilanexp:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize final live-set statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ilanexp:", err)
+			}
+		}()
+	}
 
 	cfg := harness.DefaultConfig()
 	cfg.Reps = *reps

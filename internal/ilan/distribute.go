@@ -20,6 +20,7 @@ import (
 func (s *Scheduler) buildPlan(spec *taskrt.LoopSpec, topo *topology.Machine, cfg Config, strictFraction float64) *taskrt.Plan {
 	plan := &taskrt.Plan{
 		Active:         append([]int(nil), cfg.Cores...),
+		Place:          make([]taskrt.TaskPlacement, 0, spec.Tasks),
 		Mode:           taskrt.StealHierarchical,
 		InterNodeSteal: cfg.StealFull,
 		SelectOverheadSec: s.opts.SelectCostSec +
@@ -28,10 +29,13 @@ func (s *Scheduler) buildPlan(spec *taskrt.LoopSpec, topo *topology.Machine, cfg
 	}
 
 	// Primary core per active node: the lowest-numbered active core there.
-	primary := make(map[int]int, len(cfg.Nodes))
+	primary := make([]int, topo.NumNodes())
+	for i := range primary {
+		primary[i] = -1
+	}
 	for _, c := range cfg.Cores {
 		n := topo.NodeOfCore(c)
-		if p, ok := primary[n]; !ok || c < p {
+		if primary[n] < 0 || c < primary[n] {
 			primary[n] = c
 		}
 	}

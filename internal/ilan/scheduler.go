@@ -356,7 +356,11 @@ func (s *Scheduler) widen(ls *loopState, topo *topology.Machine, threads int) Co
 			order[i] = i
 		}
 	}
-	cfg := Config{Threads: threads}
+	cfg := Config{
+		Threads: threads,
+		Nodes:   make([]int, 0, nodesNeeded),
+		Cores:   make([]int, 0, threads),
+	}
 	remaining := threads
 	for _, n := range order[:nodesNeeded] {
 		cfg.Nodes = append(cfg.Nodes, n)

@@ -103,6 +103,15 @@ type Machine struct {
 	svc          []float64      // service-weight sum per resource (drives fair shares)
 	externalLoad []float64      // sustained interferer load (DisturbNode)
 
+	// ftFree pools fluidTask objects (and their per-resource slices and
+	// completion callbacks) across Execs: a campaign starts millions of
+	// tasks, and recycling them keeps the exec path allocation-free.
+	ftFree []*fluidTask
+	// epoch / affected implement the allocation-free distinct-task sweep
+	// of collectAffected (epoch marking instead of a per-call map).
+	epoch    uint64
+	affected []*fluidTask
+
 	busySeconds  []float64 // per-core task execution time
 	tasksStarted uint64
 	demand       memsys.Demand // scratch buffer
@@ -122,6 +131,39 @@ type fluidTask struct {
 	remaining  float64 // cached T at lastUpdate
 	handle     sim.Handle
 	done       func()
+	// mark is the collectAffected epoch stamp (see Machine.epoch).
+	mark uint64
+	// completeFn is the pre-bound completion callback, created once per
+	// pooled object so refresh never allocates a closure.
+	completeFn sim.Event
+}
+
+// allocFT takes a fluidTask from the pool, or grows it. The completion
+// callback binds to the object once; the binding stays valid across reuse
+// because pooled objects keep their identity.
+func (m *Machine) allocFT() *fluidTask {
+	if n := len(m.ftFree); n > 0 {
+		ft := m.ftFree[n-1]
+		m.ftFree[n-1] = nil
+		m.ftFree = m.ftFree[:n-1]
+		return ft
+	}
+	ft := &fluidTask{}
+	ft.completeFn = func() { m.complete(ft) }
+	return ft
+}
+
+// recycleFT clears the entries a finished task wrote (only its own
+// resource indices, not the whole slices) and returns it to the pool.
+func (m *Machine) recycleFT(ft *fluidTask) {
+	for _, r := range ft.resIdx {
+		ft.bytes[r], ft.weight[r], ft.loadW[r] = 0, 0, 0
+	}
+	ft.resIdx = ft.resIdx[:0]
+	ft.compute, ft.compute0, ft.remaining = 0, 0, 0
+	ft.done = nil
+	ft.handle = sim.Handle{}
+	m.ftFree = append(m.ftFree, ft)
 }
 
 // New builds a machine over a fresh engine.
@@ -302,13 +344,12 @@ func (m *Machine) Exec(core int, computeSec float64, accesses []memsys.Access, d
 		}
 	}
 
-	ft := &fluidTask{
-		core:       core,
-		compute:    (computeSec + m.demand.CacheSeconds) * jitter,
-		started:    m.eng.Now(),
-		lastUpdate: m.eng.Now(),
-		done:       done,
-	}
+	ft := m.allocFT()
+	ft.core = core
+	ft.compute = (computeSec + m.demand.CacheSeconds) * jitter
+	ft.started = m.eng.Now()
+	ft.lastUpdate = m.eng.Now()
+	ft.done = done
 	ft.compute0 = ft.compute
 	m.counters.Tasks++
 	m.counters.ComputeSeconds += ft.compute
@@ -352,18 +393,22 @@ func (m *Machine) Exec(core int, computeSec float64, accesses []memsys.Access, d
 }
 
 // collectAffected returns the distinct running tasks (other than ft) that
-// share at least one resource with ft.
+// share at least one resource with ft. Distinctness uses epoch marking
+// over a reused scratch slice instead of a per-call map; the returned
+// slice is only valid until the next collectAffected call.
 func (m *Machine) collectAffected(ft *fluidTask) []*fluidTask {
-	var out []*fluidTask
-	seen := map[*fluidTask]bool{ft: true}
+	m.epoch++
+	ft.mark = m.epoch
+	out := m.affected[:0]
 	for _, r := range ft.resIdx {
 		for _, t := range m.byResource[r] {
-			if !seen[t] {
-				seen[t] = true
+			if t.mark != m.epoch {
+				t.mark = m.epoch
 				out = append(out, t)
 			}
 		}
 	}
+	m.affected = out
 	return out
 }
 
@@ -435,7 +480,7 @@ func (m *Machine) refresh(ft *fluidTask) {
 	m.advance(ft, now)
 	ft.remaining = m.remainingTime(ft)
 	ft.handle.Cancel()
-	ft.handle = m.eng.After(sim.Duration(ft.remaining), func() { m.complete(ft) })
+	ft.handle = m.eng.After(sim.Duration(ft.remaining), ft.completeFn)
 }
 
 func (m *Machine) complete(ft *fluidTask) {
@@ -459,10 +504,10 @@ func (m *Machine) complete(ft *fluidTask) {
 	for _, t := range m.collectAffected(ft) {
 		m.refresh(t)
 	}
-	// Clear resources before the callback so the callback can Exec on the
-	// same core immediately.
+	// Recycle before the callback so the callback can Exec on the same
+	// core immediately and reuse the slot.
 	done := ft.done
-	ft.done = nil
+	m.recycleFT(ft)
 	if done != nil {
 		done()
 	}

@@ -26,6 +26,7 @@ func (b *Baseline) Plan(rt *taskrt.Runtime, spec *taskrt.LoopSpec) *taskrt.Plan 
 	n := rt.Topology().NumCores()
 	p := &taskrt.Plan{
 		Active: make([]int, n),
+		Place:  make([]taskrt.TaskPlacement, 0, spec.Tasks),
 		Mode:   taskrt.StealFlat,
 	}
 	for c := 0; c < n; c++ {
@@ -58,6 +59,7 @@ func (w *WorkSharing) Plan(rt *taskrt.Runtime, spec *taskrt.LoopSpec) *taskrt.Pl
 	}
 	p := &taskrt.Plan{
 		Active: make([]int, n),
+		Place:  make([]taskrt.TaskPlacement, 0, n),
 		Mode:   taskrt.StealOff,
 	}
 	for c := 0; c < n; c++ {

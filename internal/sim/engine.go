@@ -11,31 +11,47 @@ type Event func()
 
 // event is the internal heap entry. Ties on time are broken by insertion
 // sequence so that execution order is fully deterministic.
+//
+// Events are pooled: when one fires or is cancelled it returns to the
+// engine's free list and its gen counter advances, invalidating every
+// Handle issued for the previous incarnation. A paper-scale campaign
+// schedules hundreds of millions of events, so recycling them is what
+// keeps the hot loop allocation-free.
 type event struct {
-	at   Time
-	seq  uint64
-	fn   Event
-	dead bool // cancelled
-	idx  int  // heap index, maintained by eventHeap
+	at  Time
+	seq uint64
+	gen uint64 // incarnation counter; bumped on recycle
+	fn  Event
+	idx int     // heap index, maintained by eventHeap
+	eng *Engine // owning engine, for Handle.Cancel
 }
 
-// Handle identifies a scheduled event and allows cancelling it.
-type Handle struct{ ev *event }
+// Handle identifies a scheduled event and allows cancelling it. A Handle
+// is only valid for the incarnation it was issued for: once the event has
+// fired or been cancelled, the Handle goes stale and all its methods
+// report false, even if the engine has recycled the underlying slot for a
+// new event.
+type Handle struct {
+	ev  *event
+	gen uint64
+}
 
-// Cancel marks the event so the engine skips it. Cancelling an already-run
-// or already-cancelled event is a no-op. Cancel reports whether the event
-// was still pending.
+// Cancel removes the event from the engine's queue. Cancelling an
+// already-run or already-cancelled event is a no-op. Cancel reports
+// whether the event was still pending. The slot is recycled immediately,
+// so cancelled events do not linger in the queue or inflate Pending().
 func (h Handle) Cancel() bool {
-	if h.ev == nil || h.ev.dead {
+	ev := h.ev
+	if ev == nil || ev.gen != h.gen {
 		return false
 	}
-	h.ev.dead = true
-	h.ev.fn = nil
+	heap.Remove(&ev.eng.events, ev.idx)
+	ev.eng.recycle(ev)
 	return true
 }
 
 // Pending reports whether the event is still waiting to fire.
-func (h Handle) Pending() bool { return h.ev != nil && !h.ev.dead }
+func (h Handle) Pending() bool { return h.ev != nil && h.ev.gen == h.gen }
 
 type eventHeap []*event
 
@@ -72,6 +88,10 @@ type Engine struct {
 	now    Time
 	seq    uint64
 	events eventHeap
+	// free is the event free list. Fired and cancelled events return here
+	// and are handed out again by At, so steady-state scheduling performs
+	// no allocation.
+	free []*event
 	// processed counts events executed; used by tests and runaway guards.
 	processed uint64
 	// limit aborts Run after this many events (0 = unlimited) to convert
@@ -93,13 +113,32 @@ func (e *Engine) Now() Time { return e.now }
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
-// Pending returns the number of events waiting in the queue
-// (including cancelled-but-not-yet-popped entries).
+// Pending returns the number of live events waiting in the queue.
+// Cancelled events are removed eagerly, so they never count.
 func (e *Engine) Pending() int { return len(e.events) }
 
 // SetLimit installs a guard: Run returns ErrEventLimit after n events.
 // n = 0 removes the guard.
 func (e *Engine) SetLimit(n uint64) { e.limit = n }
+
+// alloc takes an event from the free list, or grows the pool.
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{eng: e}
+}
+
+// recycle invalidates outstanding Handles for ev and returns it to the
+// free list. The caller must have already unlinked ev from the heap.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	ev.gen++
+	e.free = append(e.free, ev)
+}
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it is always a logic error in the layers above.
@@ -110,10 +149,13 @@ func (e *Engine) At(t Time, fn Event) Handle {
 	if fn == nil {
 		panic("sim: scheduling nil event")
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	ev := e.alloc()
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
 	e.seq++
 	heap.Push(&e.events, ev)
-	return Handle{ev: ev}
+	return Handle{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d seconds from now.
@@ -151,20 +193,20 @@ func (e *Engine) RunUntil(deadline Time) error {
 
 func (e *Engine) step() error {
 	ev := heap.Pop(&e.events).(*event)
-	if ev.dead {
-		return nil
-	}
 	if ev.at < e.now {
 		panic("sim: event queue time went backwards")
 	}
 	e.now = ev.at
 	e.processed++
 	if e.limit != 0 && e.processed > e.limit {
+		e.recycle(ev)
 		return fmt.Errorf("%w: %d events at t=%v", ErrEventLimit, e.processed, e.now)
 	}
+	// Recycle before firing: the slot is free for reuse by events the
+	// callback schedules, while the bumped gen keeps the fired event's own
+	// Handles stale.
 	fn := ev.fn
-	ev.fn = nil
-	ev.dead = true
+	e.recycle(ev)
 	fn()
 	return nil
 }

@@ -90,6 +90,102 @@ func TestCancel(t *testing.T) {
 	}
 }
 
+func TestCancelRemovesFromQueue(t *testing.T) {
+	e := NewEngine()
+	h1 := e.After(1, func() {})
+	h2 := e.After(2, func() {})
+	h3 := e.After(3, func() {})
+	if e.Pending() != 3 {
+		t.Fatalf("Pending() = %d, want 3", e.Pending())
+	}
+	if !h2.Cancel() {
+		t.Fatal("Cancel of a pending mid-queue event failed")
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending() = %d after Cancel, want 2 (live events only)", e.Pending())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d after Run, want 0", e.Pending())
+	}
+	if h1.Pending() || h3.Pending() {
+		t.Fatal("handles still pending after their events ran")
+	}
+}
+
+func TestCancelledEventNeverFiresAmongPeers(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.After(1, func() { order = append(order, 1) })
+	h := e.After(2, func() { order = append(order, 2) })
+	e.After(3, func() { order = append(order, 3) })
+	h.Cancel()
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 3 {
+		t.Fatalf("order = %v, want [1 3]", order)
+	}
+}
+
+// A Handle issued for one incarnation of a pooled event slot must go stale
+// once the event fires, even if the engine reuses the slot for a new event.
+func TestHandleStaleAcrossSlotReuse(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	h := e.After(1, func() { ran++ })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The freed slot is reused for the next scheduled event.
+	h2 := e.After(1, func() { ran += 10 })
+	if h.Pending() {
+		t.Fatal("stale handle reports pending after its event ran")
+	}
+	if h.Cancel() {
+		t.Fatal("stale handle cancelled a recycled slot's new event")
+	}
+	if !h2.Pending() {
+		t.Fatal("new event not pending")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 11 {
+		t.Fatalf("ran = %d, want 11 (stale cancel must not kill the new event)", ran)
+	}
+}
+
+// Steady-state scheduling must not allocate: events come from the free
+// list and return to it when they fire or are cancelled.
+func TestEngineAllocsPerEvent(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	allocs := testing.AllocsPerRun(200, func() {
+		e.After(1e-6, fn)
+		if err := e.Run(); err != nil {
+			panic(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("allocs per scheduled+fired event = %g, want 0", allocs)
+	}
+}
+
+func TestEngineAllocsPerCancel(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	allocs := testing.AllocsPerRun(200, func() {
+		h := e.After(1, fn)
+		h.Cancel()
+	})
+	if allocs != 0 {
+		t.Fatalf("allocs per scheduled+cancelled event = %g, want 0", allocs)
+	}
+}
+
 func TestCancelAfterRunIsNoop(t *testing.T) {
 	e := NewEngine()
 	h := e.After(1, func() {})

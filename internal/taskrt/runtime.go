@@ -47,6 +47,19 @@ type Runtime struct {
 	energy  machine.EnergyModel
 	trace   *Trace
 
+	// victims is the current plan's victim partition, rebuilt once per
+	// SubmitLoop so trySteal never assembles victim slices per attempt.
+	victims victimSet
+	// taskBuf is the per-loop task backing store. Loops are serialized and
+	// every task is consumed before the barrier, so one buffer (grown to
+	// the widest loop seen) serves the whole run without per-task allocs.
+	taskBuf []Task
+
+	// Pre-bound loop-lifecycle callbacks, created once so SubmitLoop and
+	// finishLoop do not allocate a closure per loop.
+	releaseFn  sim.Event
+	loopDoneFn sim.Event
+
 	// Run-level aggregates.
 	overheadSec       float64
 	elapsedLoopSec    float64
@@ -57,12 +70,40 @@ type Runtime struct {
 	loopExecutions    int
 }
 
+// victimSet is a plan-scoped partition of the active threads, precomputed
+// at SubmitLoop. Entries preserve plan.Active order, which the
+// draw-order-preserving shuffle in trySteal depends on (see DESIGN.md).
+// Backing arrays are reused across loops.
+type victimSet struct {
+	flat         []*thread   // all active threads (StealFlat scans these)
+	localByNode  [][]*thread // active threads on each node
+	remoteByNode [][]*thread // active threads on every other node
+}
+
 type thread struct {
 	core    int
 	node    int
 	deque   []*Task // owner pops from the back, thieves scan from the front
 	idle    bool
 	pending bool // a dispatch event is already scheduled
+
+	// In-flight dispatch state. A thread has at most one acquired task
+	// between dispatch and completion, so the per-dispatch values live
+	// here instead of in per-dispatch closures.
+	curTask   *Task
+	curStolen bool
+	curRemote bool
+	curStart  sim.Time
+
+	// scratch holds the victim order being shuffled for this thread's
+	// steal scans; it is reused across attempts.
+	scratch []*thread
+
+	// Pre-bound callbacks (created once in New): the wake->dispatch hop,
+	// the dispatch-cost delay, and the machine's task-done notification.
+	dispatchFn sim.Event
+	execFn     sim.Event
+	taskDoneFn func()
 }
 
 type loopExec struct {
@@ -94,13 +135,34 @@ func New(mach *machine.Machine, sched Scheduler, costs Costs) *Runtime {
 		rng:    mach.RNG().Split(0x7a5b),
 		energy: machine.DefaultEnergy(),
 	}
-	for c := 0; c < rt.topo.NumCores(); c++ {
-		rt.threads = append(rt.threads, &thread{
+	nCores := rt.topo.NumCores()
+	for c := 0; c < nCores; c++ {
+		th := &thread{
 			core: c,
 			node: rt.topo.NodeOfCore(c),
 			idle: true,
-		})
+			// Capacities are fixed up front so the steal path never grows
+			// them mid-campaign: the shuffle scratch holds at most every
+			// active thread, and the deque start covers chunked-steal
+			// transfers (releaseTasks warms wider master queues once).
+			deque:   make([]*Task, 0, 16),
+			scratch: make([]*thread, 0, nCores),
+		}
+		th.dispatchFn = func() { rt.dispatch(th) }
+		th.execFn = func() { rt.execTask(th) }
+		th.taskDoneFn = func() { rt.taskDone(th) }
+		rt.threads = append(rt.threads, th)
 	}
+	nNodes := rt.topo.NumNodes()
+	rt.victims.flat = make([]*thread, 0, nCores)
+	rt.victims.localByNode = make([][]*thread, nNodes)
+	rt.victims.remoteByNode = make([][]*thread, nNodes)
+	for n := 0; n < nNodes; n++ {
+		rt.victims.localByNode[n] = make([]*thread, 0, nCores)
+		rt.victims.remoteByNode[n] = make([]*thread, 0, nCores)
+	}
+	rt.releaseFn = rt.releaseTasks
+	rt.loopDoneFn = rt.completeLoop
 	return rt
 }
 
@@ -151,21 +213,56 @@ func (rt *Runtime) SubmitLoop(spec *LoopSpec, done func(*LoopStats)) {
 	}
 	le.startCtrs = rt.mach.Counters()
 	rt.cur = le
+	rt.buildVictims(plan)
 
 	setup := sim.Duration(plan.SelectOverheadSec) +
 		rt.costs.TaskCreate*sim.Duration(len(plan.Place))
 	rt.chargeOverhead(float64(setup))
 
-	rt.eng.After(setup, func() {
-		for _, tp := range plan.Place {
-			th := rt.threads[tp.Core]
-			home := th.node
-			th.deque = append(th.deque, &Task{Lo: tp.Lo, Hi: tp.Hi, Strict: tp.Strict, Home: home})
+	rt.eng.After(setup, rt.releaseFn)
+}
+
+// buildVictims computes the plan's victim partition. Partitions are
+// plan-scoped: Active is fixed for the whole loop, so the grouping never
+// changes between steal attempts — only the scan order does, and that is
+// (re)drawn per attempt over the per-thread scratch buffer.
+func (rt *Runtime) buildVictims(plan *Plan) {
+	v := &rt.victims
+	v.flat = v.flat[:0]
+	for n := range v.localByNode {
+		v.localByNode[n] = v.localByNode[n][:0]
+		v.remoteByNode[n] = v.remoteByNode[n][:0]
+	}
+	for _, c := range plan.Active {
+		th := rt.threads[c]
+		v.flat = append(v.flat, th)
+		for n := range v.localByNode {
+			if th.node == n {
+				v.localByNode[n] = append(v.localByNode[n], th)
+			} else {
+				v.remoteByNode[n] = append(v.remoteByNode[n], th)
+			}
 		}
-		for _, c := range plan.Active {
-			rt.wake(c)
-		}
-	})
+	}
+}
+
+// releaseTasks enqueues the current plan's tasks and wakes the active
+// threads; it runs once per loop after the setup delay.
+func (rt *Runtime) releaseTasks() {
+	le := rt.cur
+	plan := le.plan
+	if cap(rt.taskBuf) < len(plan.Place) {
+		rt.taskBuf = make([]Task, len(plan.Place))
+	}
+	tasks := rt.taskBuf[:len(plan.Place)]
+	for i, tp := range plan.Place {
+		th := rt.threads[tp.Core]
+		tasks[i] = Task{Lo: tp.Lo, Hi: tp.Hi, Strict: tp.Strict, Home: th.node}
+		th.deque = append(th.deque, &tasks[i])
+	}
+	for _, c := range plan.Active {
+		rt.wake(c)
+	}
 }
 
 // wake schedules a dispatch attempt for an idle thread.
@@ -175,7 +272,7 @@ func (rt *Runtime) wake(core int) {
 		return
 	}
 	th.pending = true
-	rt.eng.After(0, func() { rt.dispatch(th) })
+	rt.eng.After(0, th.dispatchFn)
 }
 
 // dispatch makes a thread acquire and execute its next task, or go idle.
@@ -191,12 +288,13 @@ func (rt *Runtime) dispatch(th *thread) {
 		return
 	}
 	task := th.pop()
-	var stolen, remote bool
+	var stolen, remote, attempted bool
 	var scanned int
 	var victim *thread
 	if task == nil {
 		task, remote, scanned, victim = rt.trySteal(th)
 		stolen = task != nil
+		attempted = le.plan.Mode != StealOff
 	}
 	if stolen && remote && victim != nil && le.plan.StealChunk > 1 {
 		// Chunked remote steal (shepherd-style): transfer extra eligible
@@ -210,6 +308,13 @@ func (rt *Runtime) dispatch(th *thread) {
 			th.deque = append(th.deque, extra)
 		}
 	}
+	// Failed scans are attempts too: they cost VictimScan time, and the
+	// steal-pressure statistics must reflect them (a loop whose threads
+	// scan fruitlessly is not the same as one that never steals).
+	if attempted {
+		rt.stealAttempts++
+		le.st.StealAttempts++
+	}
 	cost := rt.costs.Dispatch + rt.costs.VictimScan*sim.Duration(scanned)
 	if task == nil {
 		// A failed full scan still costs bookkeeping time before the
@@ -222,8 +327,6 @@ func (rt *Runtime) dispatch(th *thread) {
 	th.idle = false
 
 	if stolen {
-		rt.stealAttempts++
-		le.st.StealAttempts++
 		if remote {
 			rt.stealsRemote++
 			le.st.StealsRemote++
@@ -234,23 +337,41 @@ func (rt *Runtime) dispatch(th *thread) {
 	}
 	rt.chargeOverhead(float64(cost))
 
-	spec := le.spec
-	stolenEv, remoteEv := stolen, remote
-	rt.eng.After(cost, func() {
-		compute, acc := spec.Demand(task.Lo, task.Hi)
-		started := rt.eng.Now()
-		rt.mach.Exec(th.core, compute, acc, func() {
-			if rt.trace != nil {
-				rt.trace.record(TaskEvent{
-					LoopID: spec.ID, LoopName: spec.Name, Exec: le.exec,
-					Lo: task.Lo, Hi: task.Hi, Core: th.core, Node: th.node,
-					StartSec: float64(started), EndSec: float64(rt.eng.Now()),
-					Stolen: stolenEv, Remote: remoteEv,
-				})
-			}
-			rt.onTaskDone(th, float64(rt.eng.Now()-started))
+	th.curTask = task
+	th.curStolen = stolen
+	th.curRemote = remote
+	rt.eng.After(cost, th.execFn)
+}
+
+// execTask starts the thread's acquired task on the machine after the
+// dispatch cost has elapsed.
+func (rt *Runtime) execTask(th *thread) {
+	le := rt.cur
+	if le == nil {
+		panic("taskrt: task dispatched outside a loop")
+	}
+	task := th.curTask
+	compute, acc := le.spec.Demand(task.Lo, task.Hi)
+	th.curStart = rt.eng.Now()
+	rt.mach.Exec(th.core, compute, acc, th.taskDoneFn)
+}
+
+// taskDone records the finished task and drives the thread's next dispatch.
+func (rt *Runtime) taskDone(th *thread) {
+	le := rt.cur
+	if le == nil {
+		panic("taskrt: task completed outside a loop")
+	}
+	if rt.trace != nil {
+		task := th.curTask
+		rt.trace.record(TaskEvent{
+			LoopID: le.spec.ID, LoopName: le.spec.Name, Exec: le.exec,
+			Lo: task.Lo, Hi: task.Hi, Core: th.core, Node: th.node,
+			StartSec: float64(th.curStart), EndSec: float64(rt.eng.Now()),
+			Stolen: th.curStolen, Remote: th.curRemote,
 		})
-	})
+	}
+	rt.onTaskDone(th, float64(rt.eng.Now()-th.curStart))
 }
 
 func (rt *Runtime) onTaskDone(th *thread, durSec float64) {
@@ -272,24 +393,32 @@ func (rt *Runtime) onTaskDone(th *thread, durSec float64) {
 func (rt *Runtime) finishLoop(le *loopExec) {
 	barrier := rt.costs.Barrier * sim.Duration(len(le.plan.Active))
 	rt.chargeOverhead(float64(barrier))
-	rt.eng.After(barrier, func() {
-		le.st.Elapsed = rt.eng.Now() - le.start
-		le.st.EnergyJoules = rt.mach.EnergyJoules(rt.energy) - le.startJoules
-		endCtrs := rt.mach.Counters()
-		le.st.ComputeSeconds = endCtrs.ComputeSeconds - le.startCtrs.ComputeSeconds
-		le.st.MemorySeconds = endCtrs.MemorySeconds - le.startCtrs.MemorySeconds
-		if rt.trace != nil {
-			rt.trace.endLoop(le.spec, le.exec, le.start, rt.eng.Now(), le.st.ActiveThreads)
-		}
-		rt.cur = nil
-		rt.loopExecutions++
-		rt.elapsedLoopSec += float64(le.st.Elapsed)
-		rt.weightedThreadSec += float64(le.st.Elapsed) * float64(le.st.ActiveThreads)
-		rt.sched.Observe(rt, le.spec, &le.st)
-		if le.done != nil {
-			le.done(&le.st)
-		}
-	})
+	rt.eng.After(barrier, rt.loopDoneFn)
+}
+
+// completeLoop fires after the barrier: it finalizes the loop's stats,
+// hands them to the scheduler, and releases the runtime for the next loop.
+func (rt *Runtime) completeLoop() {
+	le := rt.cur
+	if le == nil {
+		panic("taskrt: loop completion outside a loop")
+	}
+	le.st.Elapsed = rt.eng.Now() - le.start
+	le.st.EnergyJoules = rt.mach.EnergyJoules(rt.energy) - le.startJoules
+	endCtrs := rt.mach.Counters()
+	le.st.ComputeSeconds = endCtrs.ComputeSeconds - le.startCtrs.ComputeSeconds
+	le.st.MemorySeconds = endCtrs.MemorySeconds - le.startCtrs.MemorySeconds
+	if rt.trace != nil {
+		rt.trace.endLoop(le.spec, le.exec, le.start, rt.eng.Now(), le.st.ActiveThreads)
+	}
+	rt.cur = nil
+	rt.loopExecutions++
+	rt.elapsedLoopSec += float64(le.st.Elapsed)
+	rt.weightedThreadSec += float64(le.st.Elapsed) * float64(le.st.ActiveThreads)
+	rt.sched.Observe(rt, le.spec, &le.st)
+	if le.done != nil {
+		le.done(&le.st)
+	}
 }
 
 func (rt *Runtime) chargeOverhead(sec float64) {
@@ -297,6 +426,27 @@ func (rt *Runtime) chargeOverhead(sec float64) {
 	if rt.cur != nil {
 		rt.cur.st.OverheadSec += sec
 	}
+}
+
+// shuffledVictims copies src (minus skip, when non-nil) into th's scratch
+// buffer and shuffles it in place with a Fisher–Yates that performs the
+// exact Intn draw sequence of sim.RNG.Perm(len(result)). Applying Perm's
+// swap sequence directly to the victim values instead of to an index
+// permutation visits victims in the identical order while allocating
+// nothing — the draw-order contract campaign determinism rests on.
+func (rt *Runtime) shuffledVictims(th *thread, src []*thread, skip *thread) []*thread {
+	s := th.scratch[:0]
+	for _, v := range src {
+		if v != skip {
+			s = append(s, v)
+		}
+	}
+	th.scratch = s
+	for i := len(s) - 1; i > 0; i-- {
+		j := rt.rng.Intn(i + 1)
+		s[i], s[j] = s[j], s[i]
+	}
+	return s
 }
 
 // trySteal searches for a stealable task per the current plan's mode.
@@ -310,8 +460,10 @@ func (rt *Runtime) trySteal(th *thread) (*Task, bool, int, *thread) {
 	case StealOff:
 		return nil, false, 0, nil
 	case StealFlat:
-		for _, i := range rt.rng.Perm(len(plan.Active)) {
-			v := rt.threads[plan.Active[i]]
+		// The shuffle spans every active thread (the thief included, as in
+		// the LLVM runtime's victim draw); the thief skips itself while
+		// scanning.
+		for _, v := range rt.shuffledVictims(th, rt.victims.flat, nil) {
 			if v == th {
 				continue
 			}
@@ -322,32 +474,20 @@ func (rt *Runtime) trySteal(th *thread) (*Task, bool, int, *thread) {
 		}
 		return nil, false, scanned, nil
 	case StealHierarchical:
-		var local, remoteV []*thread
-		for _, c := range plan.Active {
-			v := rt.threads[c]
-			if v == th {
-				continue
-			}
-			if v.node == th.node {
-				local = append(local, v)
-			} else {
-				remoteV = append(remoteV, v)
-			}
-		}
-		for _, i := range rt.rng.Perm(len(local)) {
+		for _, v := range rt.shuffledVictims(th, rt.victims.localByNode[th.node], th) {
 			scanned++
-			if t := local[i].stealFor(th.node, rt.rng); t != nil {
-				return t, false, scanned, local[i]
+			if t := v.stealFor(th.node, rt.rng); t != nil {
+				return t, false, scanned, v
 			}
 		}
 		// The local scan found every same-node deque empty, so the
 		// thief's node is out of queued work: inter-node stealing is
 		// allowed if the plan permits it.
 		if plan.InterNodeSteal {
-			for _, i := range rt.rng.Perm(len(remoteV)) {
+			for _, v := range rt.shuffledVictims(th, rt.victims.remoteByNode[th.node], nil) {
 				scanned++
-				if t := remoteV[i].stealFor(th.node, rt.rng); t != nil {
-					return t, true, scanned, remoteV[i]
+				if t := v.stealFor(th.node, rt.rng); t != nil {
+					return t, true, scanned, v
 				}
 			}
 		}
@@ -375,6 +515,12 @@ func (th *thread) pop() *Task {
 // make the in-flight tasks a consecutive iteration window, clustering
 // their traffic on one or two memory controllers — a pathology the real
 // runtime does not exhibit.
+//
+// The removal is an order-preserving copy inside the deque's backing
+// array (no allocation). It must stay order-preserving: the owner pops
+// from the back and the uniform pick maps onto deque order, so a
+// swap-remove would change which tasks later draws select and break the
+// campaign determinism contract.
 func (th *thread) stealFor(thiefNode int, rng *sim.RNG) *Task {
 	eligible := 0
 	for _, t := range th.deque {

@@ -35,7 +35,7 @@ func allCores(n int) []int {
 // spreadPlan distributes tasks round-robin over all cores, flat stealing.
 func spreadPlan(rt *Runtime, spec *LoopSpec) *Plan {
 	n := rt.Topology().NumCores()
-	p := &Plan{Active: allCores(n), Mode: StealFlat}
+	p := &Plan{Active: allCores(n), Place: make([]TaskPlacement, 0, spec.Tasks), Mode: StealFlat}
 	for t := 0; t < spec.Tasks; t++ {
 		lo, hi := spec.ChunkBounds(t)
 		p.Place = append(p.Place, TaskPlacement{Lo: lo, Hi: hi, Core: t % n})
@@ -45,7 +45,11 @@ func spreadPlan(rt *Runtime, spec *LoopSpec) *Plan {
 
 // masterQueuePlan puts every task on core 0 (the LLVM taskloop shape).
 func masterQueuePlan(rt *Runtime, spec *LoopSpec) *Plan {
-	p := &Plan{Active: allCores(rt.Topology().NumCores()), Mode: StealFlat}
+	p := &Plan{
+		Active: allCores(rt.Topology().NumCores()),
+		Place:  make([]TaskPlacement, 0, spec.Tasks),
+		Mode:   StealFlat,
+	}
 	for t := 0; t < spec.Tasks; t++ {
 		lo, hi := spec.ChunkBounds(t)
 		p.Place = append(p.Place, TaskPlacement{Lo: lo, Hi: hi, Core: 0})

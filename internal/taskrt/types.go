@@ -139,7 +139,7 @@ func (p *Plan) Validate(spec *LoopSpec, numCores int) error {
 	if len(p.Active) == 0 {
 		return fmt.Errorf("taskrt: plan for %q has no active cores", spec.Name)
 	}
-	activeSet := make(map[int]bool, len(p.Active))
+	activeSet := make([]bool, numCores)
 	for _, c := range p.Active {
 		if c < 0 || c >= numCores {
 			return fmt.Errorf("taskrt: plan active core %d out of range", c)
