@@ -50,11 +50,11 @@ func runBench(b *testing.B, w workloads.Benchmark, mk func() taskrt.Scheduler, s
 	return float64(res.Elapsed), res
 }
 
-func newILAN() taskrt.Scheduler { return ilansched.New(ilansched.DefaultOptions()) }
+func newILAN() taskrt.Scheduler { return ilansched.MustNew(ilansched.DefaultOptions()) }
 func newNoMold() taskrt.Scheduler {
 	o := ilansched.DefaultOptions()
 	o.Moldability = false
-	return ilansched.New(o)
+	return ilansched.MustNew(o)
 }
 func newBaseline() taskrt.Scheduler    { return &sched.Baseline{} }
 func newWorkSharing() taskrt.Scheduler { return &sched.WorkSharing{} }
@@ -254,7 +254,7 @@ func BenchmarkAblationGranularity(b *testing.B) {
 				m := benchMachine(uint64(i))
 				opts := ilansched.DefaultOptions()
 				opts.Granularity = g
-				rt := taskrt.New(m, ilansched.New(opts), taskrt.DefaultCosts())
+				rt := taskrt.New(m, ilansched.MustNew(opts), taskrt.DefaultCosts())
 				res, err := rt.RunProgram(w.Build(m, workloads.ClassTest))
 				if err != nil {
 					b.Fatal(err)
@@ -280,7 +280,7 @@ func BenchmarkAblationStealSplit(b *testing.B) {
 					m := benchMachine(uint64(i))
 					opts := ilansched.DefaultOptions()
 					opts.StrictFraction = frac
-					rt := taskrt.New(m, ilansched.New(opts), taskrt.DefaultCosts())
+					rt := taskrt.New(m, ilansched.MustNew(opts), taskrt.DefaultCosts())
 					res, err := rt.RunProgram(w.Build(m, workloads.ClassTest))
 					if err != nil {
 						b.Fatal(err)

@@ -40,9 +40,22 @@ func main() {
 	out := flag.String("out", "", "also write the campaign as JSON (for resultdiff)")
 	label := flag.String("label", "", "label stored in the -out file")
 	in := flag.String("in", "", "render reports from a saved campaign JSON instead of running")
+	metrics := flag.Bool("metrics", false, "collect observability metrics; merged per cell into the -out JSON")
+	traceDecisions := flag.Bool("trace-decisions", false, "record every ILAN configuration decision (implies -metrics)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 	memprofile := flag.String("memprofile", "", "write a heap-allocation profile to this file at exit")
 	flag.Parse()
+
+	// Flag-value errors exit with code 2 (matching flag.Parse's own
+	// convention); runtime failures exit with 1.
+	if *jobs < 0 {
+		fmt.Fprintf(os.Stderr, "ilanexp: -jobs must be >= 0 (got %d)\n", *jobs)
+		os.Exit(2)
+	}
+	if *reps < 1 {
+		fmt.Fprintf(os.Stderr, "ilanexp: -reps must be >= 1 (got %d)\n", *reps)
+		os.Exit(2)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -75,6 +88,8 @@ func main() {
 	cfg.Reps = *reps
 	cfg.Seed = *seed
 	cfg.Jobs = *jobs
+	cfg.Metrics = *metrics
+	cfg.TraceDecisions = *traceDecisions
 	spec, ok := topology.Presets()[*topo]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "ilanexp: unknown topology %q\n", *topo)

@@ -83,11 +83,11 @@ func main() {
 		{"baseline", func() taskrt.Scheduler { return &sched.Baseline{} }},
 		{"worksharing", func() taskrt.Scheduler { return &sched.WorkSharing{} }},
 		{"affinity", func() taskrt.Scheduler { return &sched.Affinity{} }},
-		{"ilan", func() taskrt.Scheduler { return ilansched.New(ilansched.DefaultOptions()) }},
+		{"ilan", func() taskrt.Scheduler { return ilansched.MustNew(ilansched.DefaultOptions()) }},
 		{"ilan-nomold", func() taskrt.Scheduler {
 			o := ilansched.DefaultOptions()
 			o.Moldability = false
-			return ilansched.New(o)
+			return ilansched.MustNew(o)
 		}},
 	}
 	if *schedName != "" {

@@ -1,0 +1,172 @@
+// Command obsdump inspects the observability snapshots embedded in a saved
+// campaign file (ilanexp -metrics -out). It lists which cells carry
+// metrics, and renders one cell's snapshot as a human summary, Prometheus
+// text, a folded-stacks profile (flamegraph input), the raw ILAN decision
+// trace, or JSON.
+//
+// Usage:
+//
+//	obsdump -in results.json                           # list cells
+//	obsdump -in results.json -cell CG/ilan             # summary
+//	obsdump -in results.json -cell CG/ilan -format prom
+//	obsdump -in results.json -cell CG/ilan -format decisions
+//	obsdump -in results.json -cell CG/ilan -format folded > cg.folded
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/ilan-sched/ilan/internal/obs"
+	"github.com/ilan-sched/ilan/internal/results"
+)
+
+func main() {
+	in := flag.String("in", "", "campaign JSON written by ilanexp -metrics -out (required)")
+	cell := flag.String("cell", "", "cell to dump, as bench/kind (e.g. CG/ilan); empty lists cells")
+	format := flag.String("format", "summary", "output: summary|prom|folded|decisions|json")
+	flag.Parse()
+
+	// Flag-value errors exit with code 2, runtime failures with 1 — the
+	// same convention as ilanexp and sweep.
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "obsdump: -in is required")
+		os.Exit(2)
+	}
+	switch *format {
+	case "summary", "prom", "folded", "decisions", "json":
+	default:
+		fmt.Fprintf(os.Stderr, "obsdump: unknown format %q (valid: summary, prom, folded, decisions, json)\n", *format)
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obsdump:", err)
+		os.Exit(1)
+	}
+	file, err := results.Read(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obsdump:", err)
+		os.Exit(1)
+	}
+
+	if *cell == "" {
+		listCells(file)
+		return
+	}
+	var snap *obs.Snapshot
+	found := false
+	for i := range file.Cells {
+		c := &file.Cells[i]
+		if c.Bench+"/"+c.Kind == *cell {
+			snap, found = c.Obs, true
+			break
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "obsdump: no cell %q in %s (try obsdump -in %s to list)\n", *cell, *in, *in)
+		os.Exit(1)
+	}
+	if snap == nil {
+		fmt.Fprintf(os.Stderr, "obsdump: cell %q has no observability data (rerun the campaign with -metrics)\n", *cell)
+		os.Exit(1)
+	}
+
+	switch *format {
+	case "prom":
+		err = snap.WritePrometheus(os.Stdout)
+	case "folded":
+		err = snap.WriteFolded(os.Stdout)
+	case "json":
+		err = snap.WriteJSON(os.Stdout)
+	case "decisions":
+		err = writeDecisions(snap)
+	default:
+		err = writeSummary(*cell, snap)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obsdump:", err)
+		os.Exit(1)
+	}
+}
+
+func listCells(file *results.File) {
+	fmt.Printf("%-24s %6s %10s %10s %10s\n", "cell", "runs", "counters", "gauges", "decisions")
+	for i := range file.Cells {
+		c := &file.Cells[i]
+		name := c.Bench + "/" + c.Kind
+		if c.Obs == nil {
+			fmt.Printf("%-24s %s\n", name, "(no observability data)")
+			continue
+		}
+		fmt.Printf("%-24s %6d %10d %10d %10d\n", name,
+			c.Obs.Runs, len(c.Obs.Counters), len(c.Obs.Gauges), c.Obs.DecisionsTotal)
+	}
+}
+
+func writeSummary(name string, s *obs.Snapshot) error {
+	fmt.Printf("cell %s: %d runs\n", name, s.Runs)
+	dump := func(title string, m map[string]float64) {
+		if len(m) == 0 {
+			return
+		}
+		fmt.Printf("\n%s:\n", title)
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  %-48s %g\n", k, m[k])
+		}
+	}
+	dump("counters (summed over runs)", s.Counters)
+	dump("gauges (averaged over runs)", s.Gauges)
+	if len(s.Histograms) > 0 {
+		fmt.Printf("\nhistograms:\n")
+		keys := make([]string, 0, len(s.Histograms))
+		for k := range s.Histograms {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			h := s.Histograms[k]
+			mean := 0.0
+			if h.Count > 0 {
+				mean = h.Sum / float64(h.Count)
+			}
+			fmt.Printf("  %-48s count=%d mean=%g\n", k, h.Count, mean)
+		}
+	}
+	dump("profile (virtual seconds)", s.Profile)
+	if s.DecisionsTotal > 0 {
+		fmt.Printf("\ndecisions: %d recorded, %d retained (use -format decisions)\n",
+			s.DecisionsTotal, len(s.Decisions))
+	}
+	return nil
+}
+
+func writeDecisions(s *obs.Snapshot) error {
+	if s.DecisionsTotal == 0 {
+		return fmt.Errorf("no decision trace in this cell (rerun with -trace-decisions)")
+	}
+	fmt.Printf("%12s %4s %5s %3s %-10s %8s %18s %6s %14s\n",
+		"t(virt s)", "rep", "loop", "k", "phase", "threads", "mask", "steal", "score")
+	for _, d := range s.Decisions {
+		policy := "strict"
+		if d.StealFull {
+			policy = "full"
+		}
+		fmt.Printf("%12.6f %4d %5d %3d %-10s %8d %#18x %6s %14.6g\n",
+			d.TimeSec, d.Rep, d.LoopID, d.K, d.Phase, d.Threads, d.NodeMask, policy, d.Score)
+	}
+	if int(s.DecisionsTotal) > len(s.Decisions) {
+		fmt.Printf("(%d older decisions were dropped by the per-run ring buffer)\n",
+			int(s.DecisionsTotal)-len(s.Decisions))
+	}
+	return nil
+}

@@ -50,7 +50,7 @@ func main() {
 		Alpha: -1,
 	})
 	prog := b.Build(m, cls)
-	sch := ilan.New(ilan.DefaultOptions())
+	sch := ilan.MustNew(ilan.DefaultOptions())
 	rt := taskrt.New(m, sch, taskrt.DefaultCosts())
 	res, err := rt.RunProgram(prog)
 	if err != nil {

@@ -31,11 +31,28 @@ func main() {
 	jobs := flag.Int("jobs", 0, "parallel workers for independent runs (0 = GOMAXPROCS, 1 = sequential)")
 	class := flag.String("class", "test", "benchmark scale: paper|test")
 	seed := flag.Uint64("seed", 7, "base seed")
+	metrics := flag.Bool("metrics", false, "collect observability metrics; ILAN steal split rides along per point")
+	traceDecisions := flag.Bool("trace-decisions", false, "record every ILAN configuration decision (implies -metrics)")
 	flag.Parse()
 
+	// Flag-value errors exit with code 2, runtime failures with 1 — the
+	// same convention as ilanexp.
+	if *jobs < 0 {
+		fmt.Fprintf(os.Stderr, "sweep: -jobs must be >= 0 (got %d)\n", *jobs)
+		os.Exit(2)
+	}
+	if *reps < 1 {
+		fmt.Fprintf(os.Stderr, "sweep: -reps must be >= 1 (got %d)\n", *reps)
+		os.Exit(2)
+	}
 	b, ok := workloads.ByName(*bench)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "sweep: unknown benchmark %q\n", *bench)
+		os.Exit(2)
+	}
+	sweepParam, err := harness.ParseSweepParam(*param)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(2)
 	}
 	var values []float64
@@ -48,22 +65,30 @@ func main() {
 		values = append(values, v)
 	}
 	cfg := harness.Config{
-		Class: workloads.ClassTest,
-		Reps:  *reps,
-		Seed:  *seed,
-		Jobs:  *jobs,
-		Noise: machine.NoiseConfig{Enabled: false},
-		Topo:  topology.Zen4Vera(),
+		Class:          workloads.ClassTest,
+		Reps:           *reps,
+		Seed:           *seed,
+		Jobs:           *jobs,
+		Noise:          machine.NoiseConfig{Enabled: false},
+		Topo:           topology.Zen4Vera(),
+		Metrics:        *metrics,
+		TraceDecisions: *traceDecisions,
 	}
-	if *class == "paper" {
+	switch *class {
+	case "paper":
 		cfg.Class = workloads.ClassPaper
+	case "test":
+		// default
+	default:
+		fmt.Fprintf(os.Stderr, "sweep: unknown class %q\n", *class)
+		os.Exit(2)
 	}
 
-	points, err := harness.Sweep(b, harness.SweepParam(*param), values, cfg,
+	points, err := harness.Sweep(b, sweepParam, values, cfg,
 		func(v float64) { fmt.Fprintf(os.Stderr, "sweeping %s = %g\n", *param, v) })
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
-	harness.ReportSweep(os.Stdout, b.Name, harness.SweepParam(*param), points)
+	harness.ReportSweep(os.Stdout, b.Name, sweepParam, points)
 }

@@ -49,11 +49,11 @@ func main() {
 	case "affinity":
 		s = &sched.Affinity{}
 	case "ilan":
-		s = ilansched.New(ilansched.DefaultOptions())
+		s = ilansched.MustNew(ilansched.DefaultOptions())
 	case "ilan-nomold":
 		o := ilansched.DefaultOptions()
 		o.Moldability = false
-		s = ilansched.New(o)
+		s = ilansched.MustNew(o)
 	default:
 		fmt.Fprintf(os.Stderr, "tracedump: unknown scheduler %q\n", *schedName)
 		os.Exit(2)

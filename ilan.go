@@ -144,7 +144,7 @@ func DefaultOptions() Options { return ilansched.DefaultOptions() }
 
 // NewScheduler creates an ILAN scheduler. Create one per application run:
 // its Performance Trace Table starts cold and learns across the run.
-func NewScheduler(opts Options) *ILANScheduler { return ilansched.New(opts) }
+func NewScheduler(opts Options) *ILANScheduler { return ilansched.MustNew(opts) }
 
 // NewBaseline returns the default LLVM-like random work-stealing scheduler
 // the paper compares against.

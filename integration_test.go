@@ -21,16 +21,16 @@ func allSchedulers() map[string]func() taskrt.Scheduler {
 		"baseline":    func() taskrt.Scheduler { return &sched.Baseline{} },
 		"worksharing": func() taskrt.Scheduler { return &sched.WorkSharing{} },
 		"affinity":    func() taskrt.Scheduler { return &sched.Affinity{} },
-		"ilan":        func() taskrt.Scheduler { return ilansched.New(ilansched.DefaultOptions()) },
+		"ilan":        func() taskrt.Scheduler { return ilansched.MustNew(ilansched.DefaultOptions()) },
 		"ilan-nomold": func() taskrt.Scheduler {
 			o := ilansched.DefaultOptions()
 			o.Moldability = false
-			return ilansched.New(o)
+			return ilansched.MustNew(o)
 		},
 		"ilan-counters": func() taskrt.Scheduler {
 			o := ilansched.DefaultOptions()
 			o.CounterGuided = true
-			return ilansched.New(o)
+			return ilansched.MustNew(o)
 		},
 	}
 }
@@ -107,7 +107,7 @@ func TestStrictPolicyNeverCrossesNodes(t *testing.T) {
 		Noise: machine.NoiseConfig{},
 		Alpha: -1,
 	})
-	s := ilansched.New(ilansched.DefaultOptions())
+	s := ilansched.MustNew(ilansched.DefaultOptions())
 	rt := taskrt.New(m, s, taskrt.DefaultCosts())
 	trace := rt.EnableTracing()
 	b, _ := workloads.ByName("CG")
@@ -225,7 +225,7 @@ func TestILANOnLargerTopology(t *testing.T) {
 		Alpha: -1,
 	})
 	b, _ := workloads.ByName("SP")
-	s := ilansched.New(ilansched.DefaultOptions())
+	s := ilansched.MustNew(ilansched.DefaultOptions())
 	rt := taskrt.New(m, s, taskrt.DefaultCosts())
 	// Paper scale: the test class has too few tasks to occupy (or mold on)
 	// a 128-core machine.
@@ -244,7 +244,7 @@ func TestILANOnLargerTopology(t *testing.T) {
 		Alpha: -1,
 	})
 	b2, _ := workloads.ByName("Matmul")
-	s2 := ilansched.New(ilansched.DefaultOptions())
+	s2 := ilansched.MustNew(ilansched.DefaultOptions())
 	rt2 := taskrt.New(m2, s2, taskrt.DefaultCosts())
 	res2, err := rt2.RunProgram(b2.Build(m2, workloads.ClassTest))
 	if err != nil {

@@ -9,6 +9,7 @@ import (
 
 	"github.com/ilan-sched/ilan/internal/ilan"
 	"github.com/ilan-sched/ilan/internal/machine"
+	"github.com/ilan-sched/ilan/internal/obs"
 	"github.com/ilan-sched/ilan/internal/sched"
 	"github.com/ilan-sched/ilan/internal/stats"
 	"github.com/ilan-sched/ilan/internal/taskrt"
@@ -71,11 +72,11 @@ func NewScheduler(k Kind) taskrt.Scheduler {
 	case KindBaseline:
 		return &sched.Baseline{}
 	case KindILAN:
-		return ilan.New(ilan.DefaultOptions())
+		return ilan.MustNew(ilan.DefaultOptions())
 	case KindILANNoMold:
 		opts := ilan.DefaultOptions()
 		opts.Moldability = false
-		return ilan.New(opts)
+		return ilan.MustNew(opts)
 	case KindWorkSharing:
 		return &sched.WorkSharing{}
 	case KindAffinity:
@@ -83,7 +84,7 @@ func NewScheduler(k Kind) taskrt.Scheduler {
 	case KindILANCounters:
 		opts := ilan.DefaultOptions()
 		opts.CounterGuided = true
-		return ilan.New(opts)
+		return ilan.MustNew(opts)
 	case KindShepherd:
 		return &sched.Shepherd{}
 	default:
@@ -114,7 +115,19 @@ type Config struct {
 	CoreStreamBW float64
 	Alpha        *float64
 	Beta         *float64
+	// Metrics enables the observability layer: every run collects the
+	// internal/obs registry, and cells carry a merged Snapshot. Off by
+	// default — the disabled path is the PR 2 zero-allocation hot path.
+	Metrics bool
+	// TraceDecisions additionally records every ILAN configuration decision
+	// into the per-run ring buffer (implies Metrics).
+	TraceDecisions bool
+	// DecisionCap sizes the decision ring (0 = obs.DefaultRingCap).
+	DecisionCap int
 }
+
+// obsEnabled reports whether runs should carry an obs collector.
+func (cfg Config) obsEnabled() bool { return cfg.Metrics || cfg.TraceDecisions }
 
 // Disturb describes an external interferer for the asymmetry experiment.
 type Disturb struct {
@@ -143,6 +156,9 @@ type RunSample struct {
 	StealsLocal     int
 	StealsRemote    int
 	Tasks           uint64
+	// Obs is the run's observability snapshot (nil unless Config.Metrics
+	// or Config.TraceDecisions is set).
+	Obs *obs.Snapshot
 }
 
 // Cell aggregates all repetitions of one (benchmark, scheduler) pair.
@@ -168,6 +184,17 @@ func (c *Cell) Overheads() []float64 {
 		out[i] = s.OverheadSec
 	}
 	return out
+}
+
+// MergedObs merges the samples' observability snapshots in repetition
+// order (nil when the campaign ran without metrics). Merging is
+// deterministic, so the result is byte-identical for any Jobs setting.
+func (c *Cell) MergedObs() *obs.Snapshot {
+	snaps := make([]*obs.Snapshot, len(c.Samples))
+	for i, s := range c.Samples {
+		snaps[i] = s.Obs
+	}
+	return obs.Merge(snaps)
 }
 
 // MeanThreads returns the mean execution-time-weighted thread count.
@@ -218,9 +245,22 @@ func RunOne(b workloads.Benchmark, k Kind, cfg Config, rep int) (RunSample, erro
 	}
 	prog := b.Build(m, cfg.Class)
 	rt := taskrt.New(m, NewScheduler(k), taskrt.DefaultCosts())
+	var run *obs.Run
+	if cfg.obsEnabled() {
+		run = obs.NewRun(obs.Options{TraceDecisions: cfg.TraceDecisions, RingCap: cfg.DecisionCap})
+		rt.SetObs(run)
+	}
 	res, err := rt.RunProgram(prog)
 	if err != nil {
 		return RunSample{}, fmt.Errorf("harness: %s/%s rep %d: %w", b.Name, k, rep, err)
+	}
+	var snap *obs.Snapshot
+	if run != nil {
+		rt.FinalizeObs()
+		snap = run.Snapshot()
+		for i := range snap.Decisions {
+			snap.Decisions[i].Rep = rep
+		}
 	}
 	return RunSample{
 		ElapsedSec:      float64(res.Elapsed),
@@ -229,6 +269,7 @@ func RunOne(b workloads.Benchmark, k Kind, cfg Config, rep int) (RunSample, erro
 		StealsLocal:     res.StealsLocal,
 		StealsRemote:    res.StealsRemote,
 		Tasks:           res.TasksExecuted,
+		Obs:             snap,
 	}, nil
 }
 

@@ -58,7 +58,7 @@ func runFixedOnce(b workloads.Benchmark, threads int, full bool, cfg Config, rep
 	opts := ilan.DefaultOptions()
 	opts.FixedThreads = threads
 	opts.FixedStealFull = full
-	rt := taskrt.New(m, ilan.New(opts), taskrt.DefaultCosts())
+	rt := taskrt.New(m, ilan.MustNew(opts), taskrt.DefaultCosts())
 	res, err := rt.RunProgram(b.Build(m, cfg.Class))
 	if err != nil {
 		return 0, err

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"github.com/ilan-sched/ilan/internal/obs"
 	"github.com/ilan-sched/ilan/internal/stats"
 	"github.com/ilan-sched/ilan/internal/workloads"
 )
@@ -30,6 +31,22 @@ type SweepPoint struct {
 	// BaselineSec / ILANSec are the mean elapsed times.
 	BaselineSec float64
 	ILANSec     float64
+	// Obs is the ILAN cell's merged observability snapshot at this value
+	// (nil unless the sweep ran with Config.Metrics/TraceDecisions).
+	Obs *obs.Snapshot
+}
+
+// ParseSweepParam validates a parameter name, returning the typed
+// parameter or an error listing the valid names. CLIs use it to reject a
+// bad -param before any work runs (and to exit with the flag-error code
+// rather than the runtime-error code).
+func ParseSweepParam(s string) (SweepParam, error) {
+	switch p := SweepParam(s); p {
+	case SweepAlpha, SweepBeta, SweepControllerBW, SweepCoreBW, SweepLinkBW:
+		return p, nil
+	default:
+		return "", fmt.Errorf("harness: unknown sweep parameter %q (valid: alpha, beta, controllerbw, corebw, linkbw)", s)
+	}
 }
 
 // applyParam returns cfg with one machine-model parameter overridden.
@@ -105,18 +122,32 @@ func Sweep(bench workloads.Benchmark, param SweepParam, values []float64,
 			Threads:     il.MeanThreads(),
 			BaselineSec: bm,
 			ILANSec:     im,
+			Obs:         il.MergedObs(),
 		})
 	}
 	return out, nil
 }
 
-// ReportSweep prints a sweep as a table.
+// ReportSweep prints a sweep as a table. When the points carry
+// observability snapshots, ILAN's per-point steal split rides along as two
+// extra columns.
 func ReportSweep(w io.Writer, bench string, param SweepParam, points []SweepPoint) {
+	withObs := len(points) > 0 && points[0].Obs != nil
 	fmt.Fprintf(w, "sensitivity of %s to %s (ILAN vs baseline)\n", bench, param)
-	fmt.Fprintf(w, "%14s %10s %10s %14s %14s\n",
+	fmt.Fprintf(w, "%14s %10s %10s %14s %14s",
 		string(param), "speedup", "threads", "baseline(s)", "ilan(s)")
+	if withObs {
+		fmt.Fprintf(w, " %12s %12s", "steals-local", "steals-remote")
+	}
+	fmt.Fprintln(w)
 	for _, p := range points {
-		fmt.Fprintf(w, "%14.5g %9.3fx %10.1f %14.4f %14.4f\n",
+		fmt.Fprintf(w, "%14.5g %9.3fx %10.1f %14.4f %14.4f",
 			p.Value, p.Speedup, p.Threads, p.BaselineSec, p.ILANSec)
+		if withObs && p.Obs != nil {
+			fmt.Fprintf(w, " %12.0f %12.0f",
+				p.Obs.Counters["taskrt_steals_local_total"],
+				p.Obs.Counters["taskrt_steals_remote_total"])
+		}
+		fmt.Fprintln(w)
 	}
 }

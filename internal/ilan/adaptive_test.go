@@ -26,7 +26,7 @@ func TestAdaptiveFractionReleasesGreensUnderPressure(t *testing.T) {
 	opts := DefaultOptions()
 	opts.AdaptiveStrictFraction = true
 	opts.StrictFraction = 0.9 // start locality-heavy: few greens
-	s := New(opts)
+	s := MustNew(opts)
 	topo := smallTopo()
 	rt := newRuntime(t, s, 45e9)
 	ls := s.state(7, topo)
@@ -68,7 +68,7 @@ func TestAdaptiveFractionReleasesGreensUnderPressure(t *testing.T) {
 func TestAdaptiveFractionStaysOnGrid(t *testing.T) {
 	opts := DefaultOptions()
 	opts.AdaptiveStrictFraction = true // default StrictFraction 0.75
-	s := New(opts)
+	s := MustNew(opts)
 	topo := smallTopo()
 	rt := newRuntime(t, s, 45e9)
 	ls := s.state(3, topo)
@@ -111,7 +111,7 @@ func TestAdaptiveFractionStaysOnGrid(t *testing.T) {
 func TestAdaptiveFractionEndToEnd(t *testing.T) {
 	opts := DefaultOptions()
 	opts.AdaptiveStrictFraction = true
-	s := New(opts)
+	s := MustNew(opts)
 	rt := newRuntime(t, s, 45e9)
 	spec := imbalancedSpec(7)
 	prog := &taskrt.Program{Name: "i", Loops: []*taskrt.LoopSpec{spec}, Sequence: repeat(30, 0)}
@@ -128,7 +128,7 @@ func TestAdaptiveFractionEndToEnd(t *testing.T) {
 }
 
 func TestAdaptiveFractionOffByDefault(t *testing.T) {
-	s := New(DefaultOptions())
+	s := MustNew(DefaultOptions())
 	rt := newRuntime(t, s, 45e9)
 	spec := imbalancedSpec(7)
 	prog := &taskrt.Program{Name: "i", Loops: []*taskrt.LoopSpec{spec}, Sequence: repeat(20, 0)}
@@ -140,13 +140,73 @@ func TestAdaptiveFractionOffByDefault(t *testing.T) {
 	}
 }
 
+// TestAdaptiveFractionBandUnderLongStreaks drives the migration tuner with
+// long alternating migrate/no-migrate streaks — far past the point where
+// the ±10% steps hit a boundary — and asserts after every single step that
+// the adapted fraction never leaves the [0.25, 1.0] band of §3.3, in both
+// its integer-percent form and the resolved float.
+func TestAdaptiveFractionBandUnderLongStreaks(t *testing.T) {
+	opts := DefaultOptions()
+	opts.AdaptiveStrictFraction = true
+	opts.StrictFraction = 0.25 // start on the lower boundary
+	s := MustNew(opts)
+	topo := smallTopo()
+	rt := newRuntime(t, s, 45e9)
+	ls := s.state(9, topo)
+	ls.phase = PhaseSettled
+	ls.pending = Config{Threads: 16, StealFull: true}
+	ls.lastGreens = 4
+	spec := &taskrt.LoopSpec{ID: 9, Name: "x"}
+	feed := func(remote int) {
+		s.Observe(rt, spec, &taskrt.LoopStats{
+			Elapsed:         1,
+			NodeTaskSeconds: make([]float64, topo.NumNodes()),
+			NodeTasks:       make([]int, topo.NumNodes()),
+			StealsRemote:    remote,
+		})
+	}
+	check := func(streak string, step int) {
+		t.Helper()
+		if p := ls.strictFracPct; p < 25 || p > 100 {
+			t.Fatalf("%s step %d: strictFracPct %d%% left [25, 100]", streak, step, p)
+		}
+		if f := s.strictFraction(ls); f < 0.25 || f > 1.0 {
+			t.Fatalf("%s step %d: resolved fraction %.17g left [0.25, 1.0]", streak, step, f)
+		}
+	}
+	// Further migration pressure on the lower boundary must not dig below.
+	for i := 0; i < 30; i++ {
+		feed(99)
+		check("migrate(floor)", i)
+	}
+	if ls.strictFracPct != 25 {
+		t.Fatalf("strictFracPct = %d%% after migrate streak, want 25%%", ls.strictFracPct)
+	}
+	// A long no-migrate streak climbs and must saturate at 100%.
+	for i := 0; i < 30; i++ {
+		feed(0)
+		check("no-migrate", i)
+	}
+	if ls.strictFracPct != 100 {
+		t.Fatalf("strictFracPct = %d%% after no-migrate streak, want 100%%", ls.strictFracPct)
+	}
+	// And back down: a long migrate streak must saturate at the floor.
+	for i := 0; i < 30; i++ {
+		feed(99)
+		check("migrate", i)
+	}
+	if ls.strictFracPct != 25 {
+		t.Fatalf("strictFracPct = %d%% after second migrate streak, want 25%%", ls.strictFracPct)
+	}
+}
+
 func TestAdaptiveFractionBoundedAbove(t *testing.T) {
 	// A balanced loop that still evaluates full policy: greens never
 	// migrate, so the fraction should climb toward 1 and stop there.
 	opts := DefaultOptions()
 	opts.AdaptiveStrictFraction = true
 	opts.StrictFraction = 0.8
-	s := New(opts)
+	s := MustNew(opts)
 	ls := s.state(1, smallTopo())
 	ls.pending = Config{Threads: 16, StealFull: true}
 	ls.phase = PhaseSettled

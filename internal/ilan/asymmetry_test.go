@@ -22,7 +22,7 @@ func TestNodeMaskAvoidsDisturbedNode(t *testing.T) {
 		Alpha:        0.05,
 	})
 	m.DisturbNode(victim, 0.5, 10)
-	s := New(DefaultOptions())
+	s := MustNew(DefaultOptions())
 	rt := taskrt.New(m, s, taskrt.DefaultCosts())
 	loop := gatherLoop(rt)
 	prog := &taskrt.Program{Name: "g", Loops: []*taskrt.LoopSpec{loop}, Sequence: repeat(30, 0)}
@@ -54,7 +54,7 @@ func TestDisturbedNodeMeasuresSlower(t *testing.T) {
 		Alpha: -1,
 	})
 	m.DisturbNode(victim, 0.5, 6)
-	s := New(DefaultOptions())
+	s := MustNew(DefaultOptions())
 	rt := taskrt.New(m, s, taskrt.DefaultCosts())
 	loop := computeLoop()
 	prog := &taskrt.Program{Name: "c", Loops: []*taskrt.LoopSpec{loop}, Sequence: repeat(6, 0)}

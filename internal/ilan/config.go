@@ -122,6 +122,10 @@ type loopState struct {
 
 	// history records every execution for diagnostics (ptttrace).
 	history []ExecRecord
+
+	// obsPhase is the phase after the previous Observe, used by the
+	// observability hook to count phase transitions.
+	obsPhase Phase
 }
 
 // ExecRecord is one taskloop execution as the PTT saw it.

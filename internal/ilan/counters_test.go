@@ -12,7 +12,7 @@ import (
 func TestCounterGuidedSkipsExplorationForComputeLoops(t *testing.T) {
 	opts := DefaultOptions()
 	opts.CounterGuided = true
-	s := New(opts)
+	s := MustNew(opts)
 	rt := newRuntime(t, s, 45e9)
 	loop := computeLoop()
 	prog := &taskrt.Program{Name: "c", Loops: []*taskrt.LoopSpec{loop}, Sequence: repeat(10, 0)}
@@ -35,7 +35,7 @@ func TestCounterGuidedSkipsExplorationForComputeLoops(t *testing.T) {
 func TestCounterGuidedStillExploresMemoryLoops(t *testing.T) {
 	opts := DefaultOptions()
 	opts.CounterGuided = true
-	s := New(opts)
+	s := MustNew(opts)
 	rt := newRuntime(t, s, 20e9)
 	loop := gatherLoop(rt)
 	prog := &taskrt.Program{Name: "g", Loops: []*taskrt.LoopSpec{loop}, Sequence: repeat(30, 0)}
@@ -59,7 +59,7 @@ func TestCounterGuidedReducesExplorationCost(t *testing.T) {
 	run := func(guided bool) float64 {
 		opts := DefaultOptions()
 		opts.CounterGuided = guided
-		s := New(opts)
+		s := MustNew(opts)
 		rt := newRuntime(t, s, 45e9)
 		loop := computeLoop()
 		prog := &taskrt.Program{Name: "c", Loops: []*taskrt.LoopSpec{loop}, Sequence: repeat(12, 0)}
@@ -91,7 +91,7 @@ func TestLoopStatsMemoryIntensity(t *testing.T) {
 func TestRegretPositiveForComputeLoop(t *testing.T) {
 	// The standard search probes slow narrow configs on a compute-bound
 	// loop, so exploration regret must be positive.
-	s := New(DefaultOptions())
+	s := MustNew(DefaultOptions())
 	rt := newRuntime(t, s, 45e9)
 	loop := computeLoop()
 	prog := &taskrt.Program{Name: "c", Loops: []*taskrt.LoopSpec{loop}, Sequence: repeat(12, 0)}
@@ -111,7 +111,7 @@ func TestRegretPositiveForComputeLoop(t *testing.T) {
 }
 
 func TestRegretUnknownLoop(t *testing.T) {
-	s := New(DefaultOptions())
+	s := MustNew(DefaultOptions())
 	if _, _, ok := s.Regret(99); ok {
 		t.Fatal("unknown loop reported regret")
 	}

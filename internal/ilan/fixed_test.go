@@ -11,7 +11,7 @@ func TestFixedThreadsPinsEveryLoop(t *testing.T) {
 	opts := DefaultOptions()
 	opts.FixedThreads = 8
 	opts.FixedStealFull = true
-	s := New(opts)
+	s := MustNew(opts)
 	rt := newRuntime(t, s, 45e9)
 	loop := computeLoop()
 	prog := &taskrt.Program{Name: "c", Loops: []*taskrt.LoopSpec{loop}, Sequence: repeat(6, 0)}
@@ -40,7 +40,7 @@ func TestFixedThreadsNoExplorationCost(t *testing.T) {
 	run := func(fixed int) float64 {
 		opts := DefaultOptions()
 		opts.FixedThreads = fixed
-		s := New(opts)
+		s := MustNew(opts)
 		rt := newRuntime(t, s, 45e9)
 		loop := computeLoop()
 		prog := &taskrt.Program{Name: "c", Loops: []*taskrt.LoopSpec{loop}, Sequence: repeat(10, 0)}

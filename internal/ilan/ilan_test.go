@@ -28,7 +28,7 @@ func mkState(topo *topology.Machine, k int, times map[int]float64) *loopState {
 
 func TestNextThreadsInitialSequence(t *testing.T) {
 	topo := smallTopo() // 16 cores, node size 4 => g = 4
-	s := New(DefaultOptions())
+	s := MustNew(DefaultOptions())
 
 	ls := mkState(topo, 1, nil)
 	if th, fin := s.nextThreads(ls, topo); th != 16 || fin {
@@ -42,7 +42,7 @@ func TestNextThreadsInitialSequence(t *testing.T) {
 
 func TestNextThreadsMidpointWhenFullWidthFaster(t *testing.T) {
 	topo := smallTopo()
-	s := New(DefaultOptions())
+	s := MustNew(DefaultOptions())
 	// 16 threads faster than 8: general case, midpoint = 8 + (8/2/4)*4 = 12.
 	ls := mkState(topo, 3, map[int]float64{16: 1.0, 8: 2.0})
 	th, fin := s.nextThreads(ls, topo)
@@ -59,7 +59,7 @@ func TestNextThreadsMidpointWhenFullWidthFaster(t *testing.T) {
 
 func TestNextThreadsSmallestProbeWhenHalfWidthFaster(t *testing.T) {
 	topo := smallTopo()
-	s := New(DefaultOptions())
+	s := MustNew(DefaultOptions())
 	// 8 beat 16 at k=3: probe the smallest width g=4.
 	ls := mkState(topo, 3, map[int]float64{16: 2.0, 8: 1.0})
 	th, fin := s.nextThreads(ls, topo)
@@ -82,7 +82,7 @@ func TestNextThreadsSmallestProbeWhenHalfWidthFaster(t *testing.T) {
 
 func TestNextThreadsMidpointAlreadyTriedFinishes(t *testing.T) {
 	topo := smallTopo()
-	s := New(DefaultOptions())
+	s := MustNew(DefaultOptions())
 	// best=12, second=4 -> midpoint = 4 + (8/2/4)*4 = 8, already tried.
 	ls := mkState(topo, 5, map[int]float64{16: 3, 8: 2, 4: 2.5, 12: 1})
 	th, fin := s.nextThreads(ls, topo)
@@ -93,7 +93,7 @@ func TestNextThreadsMidpointAlreadyTriedFinishes(t *testing.T) {
 
 func TestNextThreadsTieBreakPrefersWiderConfig(t *testing.T) {
 	topo := smallTopo()
-	s := New(DefaultOptions())
+	s := MustNew(DefaultOptions())
 	// Equal means: the wider config must rank best so the k=3 special case
 	// does not fire on a tie.
 	ls := mkState(topo, 3, map[int]float64{16: 1.0, 8: 1.0})
@@ -105,7 +105,7 @@ func TestNextThreadsTieBreakPrefersWiderConfig(t *testing.T) {
 
 func TestWidenPicksFastestNodeFirst(t *testing.T) {
 	topo := smallTopo()
-	s := New(DefaultOptions())
+	s := MustNew(DefaultOptions())
 	ls := mkState(topo, 1, nil)
 	// Node 2 historically fastest.
 	for n := 0; n < topo.NumNodes(); n++ {
@@ -133,7 +133,7 @@ func TestWidenPicksFastestNodeFirst(t *testing.T) {
 
 func TestWidenPartialNode(t *testing.T) {
 	topo := smallTopo()
-	s := New(Options{Granularity: 2, StrictFraction: 0.75, Moldability: true})
+	s := MustNew(Options{Granularity: 2, StrictFraction: 0.75, Moldability: true})
 	ls := mkState(topo, 1, nil)
 	cfg := s.widen(ls, topo, 6) // 1.5 nodes
 	if len(cfg.Cores) != 6 {
@@ -146,7 +146,7 @@ func TestWidenPartialNode(t *testing.T) {
 
 func TestWidenClampsToMachine(t *testing.T) {
 	topo := smallTopo()
-	s := New(DefaultOptions())
+	s := MustNew(DefaultOptions())
 	ls := mkState(topo, 1, nil)
 	cfg := s.widen(ls, topo, 999)
 	if cfg.Threads != 16 || len(cfg.Cores) != 16 {
@@ -170,7 +170,7 @@ func TestConfigMaskAndString(t *testing.T) {
 
 func TestBuildPlanStrictPolicyAllStrict(t *testing.T) {
 	topo := smallTopo()
-	s := New(DefaultOptions())
+	s := MustNew(DefaultOptions())
 	ls := mkState(topo, 1, nil)
 	cfg := s.widen(ls, topo, 8)
 	cfg.StealFull = false
@@ -192,7 +192,7 @@ func TestBuildPlanStrictPolicyAllStrict(t *testing.T) {
 
 func TestBuildPlanFullPolicySplitsStrictAndGreen(t *testing.T) {
 	topo := smallTopo()
-	s := New(DefaultOptions()) // strict fraction 0.75
+	s := MustNew(DefaultOptions()) // strict fraction 0.75
 	ls := mkState(topo, 1, nil)
 	cfg := s.widen(ls, topo, 16)
 	cfg.StealFull = true
@@ -226,7 +226,7 @@ func TestBuildPlanFullPolicySplitsStrictAndGreen(t *testing.T) {
 // node with tasks must keep at least one strict task.
 func TestBuildPlanTinyLoopKeepsStrictTasks(t *testing.T) {
 	topo := smallTopo() // 4 nodes
-	s := New(DefaultOptions())
+	s := MustNew(DefaultOptions())
 	for _, tasks := range []int{4, 6, 7} { // all < 2*nodes
 		ls := mkState(topo, 1, nil)
 		cfg := s.widen(ls, topo, 16)
@@ -254,7 +254,7 @@ func TestBuildPlanTinyLoopKeepsStrictTasks(t *testing.T) {
 
 func TestBuildPlanContiguousNodeMapping(t *testing.T) {
 	topo := smallTopo()
-	s := New(DefaultOptions())
+	s := MustNew(DefaultOptions())
 	ls := mkState(topo, 1, nil)
 	cfg := s.widen(ls, topo, 16)
 	spec := &taskrt.LoopSpec{ID: 1, Name: "x", Iters: 160, Tasks: 16,
@@ -339,7 +339,7 @@ func repeat(n, v int) []int {
 }
 
 func TestMoldabilityShrinksBandwidthBoundLoop(t *testing.T) {
-	s := New(DefaultOptions())
+	s := MustNew(DefaultOptions())
 	rt := newRuntime(t, s, 20e9)
 	loop := gatherLoop(rt)
 	prog := &taskrt.Program{Name: "g", Loops: []*taskrt.LoopSpec{loop}, Sequence: repeat(30, 0)}
@@ -360,7 +360,7 @@ func TestMoldabilityShrinksBandwidthBoundLoop(t *testing.T) {
 }
 
 func TestMoldabilityKeepsComputeBoundLoopWide(t *testing.T) {
-	s := New(DefaultOptions())
+	s := MustNew(DefaultOptions())
 	rt := newRuntime(t, s, 45e9)
 	loop := computeLoop()
 	prog := &taskrt.Program{Name: "c", Loops: []*taskrt.LoopSpec{loop}, Sequence: repeat(30, 0)}
@@ -380,7 +380,7 @@ func TestMoldabilityKeepsComputeBoundLoopWide(t *testing.T) {
 func TestNoMoldAlwaysFullWidth(t *testing.T) {
 	opts := DefaultOptions()
 	opts.Moldability = false
-	s := New(opts)
+	s := MustNew(opts)
 	rt := newRuntime(t, s, 20e9)
 	loop := gatherLoop(rt)
 	prog := &taskrt.Program{Name: "g", Loops: []*taskrt.LoopSpec{loop}, Sequence: repeat(10, 0)}
@@ -397,7 +397,7 @@ func TestNoMoldAlwaysFullWidth(t *testing.T) {
 }
 
 func TestSettledConfigFasterThanInitial(t *testing.T) {
-	s := New(DefaultOptions())
+	s := MustNew(DefaultOptions())
 	rt := newRuntime(t, s, 20e9)
 	loop := gatherLoop(rt)
 	var times []float64
@@ -422,7 +422,7 @@ func TestSettledConfigFasterThanInitial(t *testing.T) {
 }
 
 func TestStealPolicyEvaluationHappens(t *testing.T) {
-	s := New(DefaultOptions())
+	s := MustNew(DefaultOptions())
 	rt := newRuntime(t, s, 45e9)
 	loop := computeLoop()
 	prog := &taskrt.Program{Name: "c", Loops: []*taskrt.LoopSpec{loop}, Sequence: repeat(20, 0)}
@@ -457,7 +457,7 @@ func TestImbalancedLoopPrefersFullStealing(t *testing.T) {
 	}
 	opts := DefaultOptions()
 	opts.StrictFraction = 0.5
-	s := New(opts)
+	s := MustNew(opts)
 	rt := newRuntime(t, s, 45e9)
 	prog := &taskrt.Program{Name: "i", Loops: []*taskrt.LoopSpec{spec}, Sequence: repeat(25, 0)}
 	if _, err := rt.RunProgram(prog); err != nil {
@@ -473,7 +473,7 @@ func TestImbalancedLoopPrefersFullStealing(t *testing.T) {
 }
 
 func TestPTTIndependentPerLoop(t *testing.T) {
-	s := New(DefaultOptions())
+	s := MustNew(DefaultOptions())
 	rt := newRuntime(t, s, 20e9)
 	g := gatherLoop(rt)
 	c := computeLoop()
@@ -500,7 +500,7 @@ func TestPTTIndependentPerLoop(t *testing.T) {
 }
 
 func TestChosenConfigUnknownLoop(t *testing.T) {
-	s := New(DefaultOptions())
+	s := MustNew(DefaultOptions())
 	if _, _, ok := s.ChosenConfig(42); ok {
 		t.Fatal("unknown loop reported ok")
 	}
@@ -509,11 +509,29 @@ func TestChosenConfigUnknownLoop(t *testing.T) {
 	}
 }
 
-func TestBadOptionsPanic(t *testing.T) {
+func TestBadOptionsRejected(t *testing.T) {
+	if _, err := New(Options{StrictFraction: 1.5}); err == nil {
+		t.Error("StrictFraction > 1 accepted")
+	}
+	if _, err := New(Options{StrictFraction: -0.1}); err == nil {
+		t.Error("StrictFraction < 0 accepted")
+	}
+	if _, err := New(Options{Objective: numObjectives}); err == nil {
+		t.Error("out-of-range Objective accepted")
+	}
+	if _, err := New(Options{Objective: Objective(200)}); err == nil {
+		t.Error("wild Objective value accepted")
+	}
+	if _, err := New(Options{Objective: ObjectiveEDP, StrictFraction: 1.0}); err != nil {
+		t.Errorf("valid options rejected: %v", err)
+	}
+}
+
+func TestMustNewPanicsOnBadOptions(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Error("StrictFraction > 1 did not panic")
+			t.Error("MustNew accepted StrictFraction > 1")
 		}
 	}()
-	New(Options{StrictFraction: 1.5})
+	MustNew(Options{StrictFraction: 1.5})
 }

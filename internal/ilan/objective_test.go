@@ -26,6 +26,26 @@ func TestObjectiveScores(t *testing.T) {
 	}
 }
 
+// TestObjectiveScoreUnits pins the unit contract of all three objectives
+// against a fractional elapsed time: time is virtual seconds, energy is
+// joules, and EDP is their product in joule-seconds — EnergyJoules times
+// Elapsed.Seconds(), the explicit unit-conversion point.
+func TestObjectiveScoreUnits(t *testing.T) {
+	st := &taskrt.LoopStats{Elapsed: 0.25, EnergyJoules: 3}
+	if got := ObjectiveTime.score(st); got != 0.25 {
+		t.Fatalf("time score = %g, want 0.25 s", got)
+	}
+	if got := ObjectiveEnergy.score(st); got != 3 {
+		t.Fatalf("energy score = %g, want 3 J", got)
+	}
+	if got := ObjectiveEDP.score(st); got != 0.75 {
+		t.Fatalf("edp score = %g, want 0.75 J*s", got)
+	}
+	if got, want := ObjectiveEDP.score(st), st.EnergyJoules*st.Elapsed.Seconds(); got != want {
+		t.Fatalf("edp score %g != EnergyJoules * Elapsed.Seconds() = %g", got, want)
+	}
+}
+
 // TestEnergyObjectiveMoldsAtLeastAsNarrow: energy accounting charges active
 // cores, so for a loop whose time optimum is below full width the energy
 // optimum can only be the same or narrower.
@@ -33,7 +53,7 @@ func TestEnergyObjectiveMoldsAtLeastAsNarrow(t *testing.T) {
 	chosen := func(obj Objective) int {
 		opts := DefaultOptions()
 		opts.Objective = obj
-		s := New(opts)
+		s := MustNew(opts)
 		rt := newRuntime(t, s, 20e9)
 		loop := gatherLoop(rt)
 		prog := &taskrt.Program{Name: "g", Loops: []*taskrt.LoopSpec{loop}, Sequence: repeat(30, 0)}
@@ -61,7 +81,7 @@ func TestEnergyObjectiveMoldsAtLeastAsNarrow(t *testing.T) {
 func TestRegretInObjectiveUnit(t *testing.T) {
 	opts := DefaultOptions()
 	opts.Objective = ObjectiveEnergy
-	s := New(opts)
+	s := MustNew(opts)
 	ls := s.state(1, smallTopo())
 	ls.history = []ExecRecord{
 		// Exploration: 5 J over the settled mean, but only 0.001 s slower.
@@ -84,7 +104,7 @@ func TestRegretInObjectiveUnit(t *testing.T) {
 func TestHistoryRecordsScore(t *testing.T) {
 	opts := DefaultOptions()
 	opts.Objective = ObjectiveEnergy
-	s := New(opts)
+	s := MustNew(opts)
 	rt := newRuntime(t, s, 45e9)
 	loop := computeLoop()
 	prog := &taskrt.Program{Name: "c", Loops: []*taskrt.LoopSpec{loop}, Sequence: repeat(5, 0)}

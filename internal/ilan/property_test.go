@@ -16,7 +16,7 @@ import (
 // count), and no thread count is explored twice.
 func TestPropertyAlgorithm1Terminates(t *testing.T) {
 	topo := topology.MustNew(topology.Zen4Vera()) // 64 cores, g = 8
-	s := New(DefaultOptions())
+	s := MustNew(DefaultOptions())
 	g := s.granularity(topo)
 
 	f := func(times []uint32) bool {
@@ -68,7 +68,7 @@ func TestPropertyPlansAlwaysValid(t *testing.T) {
 			tasks = 512
 		}
 		threads := 8 * (1 + int(threadsRaw%8))
-		s := New(DefaultOptions())
+		s := MustNew(DefaultOptions())
 		ls := mkState(topo, 1, nil)
 		cfg := s.widen(ls, topo, threads)
 		cfg.StealFull = full
@@ -91,7 +91,7 @@ func TestPropertyWidenInvariants(t *testing.T) {
 	topo := topology.MustNew(topology.Zen4Vera())
 	f := func(threadsRaw uint8, fastRaw uint8, hasHistory bool) bool {
 		threads := 1 + int(threadsRaw)%topo.NumCores()
-		s := New(DefaultOptions())
+		s := MustNew(DefaultOptions())
 		ls := mkState(topo, 1, nil)
 		if hasHistory {
 			fast := int(fastRaw) % topo.NumNodes()

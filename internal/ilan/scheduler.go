@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/ilan-sched/ilan/internal/obs"
 	"github.com/ilan-sched/ilan/internal/taskrt"
 	"github.com/ilan-sched/ilan/internal/topology"
 )
@@ -71,6 +72,8 @@ const (
 	ObjectiveEnergy
 	// ObjectiveEDP minimizes the energy-delay product.
 	ObjectiveEDP
+	// numObjectives bounds Objective validation in New.
+	numObjectives
 )
 
 // String names the objective.
@@ -87,15 +90,18 @@ func (o Objective) String() string {
 	}
 }
 
-// score extracts the objective value from a loop measurement.
+// score extracts the objective value from a loop measurement. Units:
+// seconds (time), joules (energy), joule-seconds (EDP) — the EDP and time
+// cases go through Elapsed.Seconds() so the seconds contract is explicit
+// rather than an implicit property of the sim.Time representation.
 func (o Objective) score(st *taskrt.LoopStats) float64 {
 	switch o {
 	case ObjectiveEnergy:
 		return st.EnergyJoules
 	case ObjectiveEDP:
-		return st.EnergyJoules * float64(st.Elapsed)
+		return st.EnergyJoules * st.Elapsed.Seconds()
 	default:
-		return float64(st.Elapsed)
+		return st.Elapsed.Seconds()
 	}
 }
 
@@ -121,12 +127,28 @@ type Scheduler struct {
 
 var _ taskrt.Scheduler = (*Scheduler)(nil)
 
-// New creates an ILAN scheduler.
-func New(opts Options) *Scheduler {
+// New creates an ILAN scheduler, validating the options: StrictFraction
+// must lie in [0, 1] and Objective must be one of the defined objectives.
+// Previously an out-of-range Objective was silently treated as
+// ObjectiveTime; construction now fails loudly instead.
+func New(opts Options) (*Scheduler, error) {
 	if opts.StrictFraction < 0 || opts.StrictFraction > 1 {
-		panic(fmt.Sprintf("ilan: StrictFraction %g out of [0,1]", opts.StrictFraction))
+		return nil, fmt.Errorf("ilan: StrictFraction %g out of [0,1]", opts.StrictFraction)
 	}
-	return &Scheduler{opts: opts, loops: make(map[int]*loopState)}
+	if opts.Objective >= numObjectives {
+		return nil, fmt.Errorf("ilan: unknown objective %d (valid: time, energy, edp)", opts.Objective)
+	}
+	return &Scheduler{opts: opts, loops: make(map[int]*loopState)}, nil
+}
+
+// MustNew is New for options known valid at the call site; it panics on a
+// validation error.
+func MustNew(opts Options) *Scheduler {
+	s, err := New(opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
 // Name implements taskrt.Scheduler.
@@ -385,8 +407,9 @@ func (s *Scheduler) Observe(rt *taskrt.Runtime, spec *taskrt.LoopSpec, st *taskr
 		ls.nodeTasks[n] += st.NodeTasks[n]
 	}
 	score := s.opts.Objective.score(st)
+	plannedPhase := ls.phase
 	ls.history = append(ls.history, ExecRecord{
-		K: ls.k, Cfg: ls.pending, Phase: ls.phase, ElapsedSec: float64(st.Elapsed),
+		K: ls.k, Cfg: ls.pending, Phase: plannedPhase, ElapsedSec: float64(st.Elapsed),
 		Score: score,
 	})
 
@@ -442,6 +465,36 @@ func (s *Scheduler) Observe(rt *taskrt.Runtime, spec *taskrt.LoopSpec, st *taskr
 	if !s.opts.Moldability && ls.k == 1 {
 		ls.bestStrictSec = score
 	}
+
+	s.obsObserve(rt, spec, ls, plannedPhase, score)
+}
+
+// obsObserve records the completed execution into the attached
+// observability collector: the full decision (loop, phase, chosen triple,
+// measured score, virtual completion time) into the trace ring, plus the
+// ilan-scope counters. Costs one nil check when observability is off.
+func (s *Scheduler) obsObserve(rt *taskrt.Runtime, spec *taskrt.LoopSpec, ls *loopState, plannedPhase Phase, score float64) {
+	run := rt.Obs()
+	if run == nil {
+		return
+	}
+	run.Decisions().Record(obs.Decision{
+		TimeSec:   rt.Machine().Engine().Now().Seconds(),
+		LoopID:    spec.ID,
+		K:         ls.k,
+		Phase:     plannedPhase.String(),
+		Threads:   ls.pending.Threads,
+		NodeMask:  ls.pending.Mask(),
+		StealFull: ls.pending.StealFull,
+		Score:     score,
+	})
+	sc := run.Scope("ilan")
+	sc.Counter("decisions_total").Inc()
+	if ls.k == 1 || ls.phase != ls.obsPhase {
+		sc.Counter("phase_transitions_total" + obs.Label("to", ls.phase.String())).Inc()
+	}
+	ls.obsPhase = ls.phase
+	sc.Gauge("chosen_threads" + obs.Label("loop", spec.ID)).Set(float64(ls.pending.Threads))
 }
 
 // ChosenConfig exposes the current configuration for a loop ID

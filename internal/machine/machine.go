@@ -116,6 +116,14 @@ type Machine struct {
 	tasksStarted uint64
 	demand       memsys.Demand // scratch buffer
 	counters     Counters
+
+	// obsOn gates the time-weighted resource-load integral behind the
+	// observability layer: when off, load changes skip the integral entirely
+	// so the hot path stays at PR 2 cost. loadIntSec[r] is ∫ load_r dt in
+	// load-seconds; dividing by elapsed time yields the mean queue depth.
+	obsOn       bool
+	loadIntSec  []float64
+	lastLoadUpd []sim.Time
 }
 
 type fluidTask struct {
@@ -315,6 +323,9 @@ func (m *Machine) DisturbNode(node int, coreSlowdown, memLoad float64) {
 		m.coreSpeed[c] *= coreSlowdown
 	}
 	ctrl := int(m.res.Controller(node))
+	if m.obsOn {
+		m.obsAccumLoad(ctrl)
+	}
 	m.load[ctrl] += memLoad
 	m.externalLoad[ctrl] += memLoad
 }
@@ -382,6 +393,9 @@ func (m *Machine) Exec(core int, computeSec float64, accesses []memsys.Access, d
 	// whose population changed (including the new task itself).
 	affected := m.collectAffected(ft)
 	for _, r := range ft.resIdx {
+		if m.obsOn {
+			m.obsAccumLoad(r)
+		}
 		m.load[r] += ft.loadW[r]
 		m.svc[r] += ft.weight[r]
 		m.byResource[r] = append(m.byResource[r], ft)
@@ -491,6 +505,9 @@ func (m *Machine) complete(ft *fluidTask) {
 	}
 	m.running[ft.core] = nil
 	for _, r := range ft.resIdx {
+		if m.obsOn {
+			m.obsAccumLoad(r)
+		}
 		m.load[r] -= ft.loadW[r]
 		m.svc[r] -= ft.weight[r]
 		if m.load[r] < m.externalLoad[r] {

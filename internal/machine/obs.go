@@ -1,0 +1,84 @@
+package machine
+
+import (
+	"github.com/ilan-sched/ilan/internal/memsys"
+	"github.com/ilan-sched/ilan/internal/obs"
+	"github.com/ilan-sched/ilan/internal/sim"
+)
+
+// EnableObs switches on the machine-side observability accounting that is
+// too expensive to run unconditionally — currently the time-weighted
+// resource-load integral behind the queue-depth metric. Call it once,
+// before the first Exec; everything else FillObs exports is pulled from
+// counters the machine maintains anyway.
+func (m *Machine) EnableObs() {
+	if m.obsOn {
+		return
+	}
+	m.obsOn = true
+	m.loadIntSec = make([]float64, m.res.Count())
+	m.lastLoadUpd = make([]sim.Time, m.res.Count())
+}
+
+// obsAccumLoad folds the load level held since the last change on resource
+// r into the integral. Must be called (under obsOn) immediately before any
+// m.load[r] mutation.
+func (m *Machine) obsAccumLoad(r int) {
+	now := m.eng.Now()
+	if dt := float64(now - m.lastLoadUpd[r]); dt > 0 {
+		m.loadIntSec[r] += m.load[r] * dt
+		m.lastLoadUpd[r] = now
+	}
+}
+
+// FillObs samples the machine's end-of-run state into the registry (pull,
+// not push: nothing here runs on the simulation hot path). Exported
+// metrics, per DESIGN.md §9:
+//
+//	machine_mc_bytes_total{node=N}     service demand on node N's controller
+//	machine_mc_utilization{node=N}     bytes / (elapsed * peak BW)
+//	machine_mc_queue_depth{node=N}     mean queue-pressure load (needs EnableObs)
+//	machine_link_bytes_total{link=S}   demand on inter-socket link S
+//	machine_l3_hits_total{ccd=N}       block-granular L3 hits per CCD
+//	machine_l3_misses_total{ccd=N}     block-granular L3 misses per CCD
+//	machine_tasks_total, machine_compute_seconds_total,
+//	machine_memory_seconds_total       run aggregates
+//
+// Rates use the engine's current virtual time as elapsed; call after the
+// run has drained.
+func (m *Machine) FillObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	sc := reg.Scope("machine")
+	elapsed := m.eng.Now().Seconds()
+	for r := 0; r < m.res.Count(); r++ {
+		id := memsys.ResourceID(r)
+		bytes := m.counters.ResourceBytes[r]
+		if m.res.IsController(id) {
+			node := obs.Label("node", r)
+			sc.Counter("mc_bytes_total" + node).Add(bytes)
+			if elapsed > 0 {
+				sc.Gauge("mc_utilization" + node).Set(bytes / (elapsed * m.res.Bandwidth(id)))
+			}
+			if m.obsOn && elapsed > 0 {
+				m.obsAccumLoad(r)
+				sc.Gauge("mc_queue_depth" + node).Set(m.loadIntSec[r] / elapsed)
+			}
+		} else if bytes > 0 {
+			sc.Counter("link_bytes_total" + obs.Label("link", m.res.Name(id))).Add(bytes)
+		}
+	}
+	for ccd := 0; ccd < m.caches.NumCCDs(); ccd++ {
+		hits, misses := m.caches.CCDStats(ccd)
+		if hits == 0 && misses == 0 {
+			continue
+		}
+		lbl := obs.Label("ccd", ccd)
+		sc.Counter("l3_hits_total" + lbl).Add(float64(hits))
+		sc.Counter("l3_misses_total" + lbl).Add(float64(misses))
+	}
+	sc.Counter("tasks_total").Add(float64(m.counters.Tasks))
+	sc.Counter("compute_seconds_total").Add(m.counters.ComputeSeconds)
+	sc.Counter("memory_seconds_total").Add(m.counters.MemorySeconds)
+}

@@ -67,13 +67,19 @@ type CacheSet struct {
 	caches   []*ccdCache
 	hits     uint64
 	misses   uint64
+	ccdHits  []uint64 // per-CCD split of hits/misses (observability)
+	ccdMiss  []uint64
 	disabled bool
 }
 
 // NewCacheSet builds per-CCD caches for a topology.
 func NewCacheSet(topo *topology.Machine) *CacheSet {
 	capBlocks := int(topo.Spec().L3BytesPerCCD / BlockSize)
-	cs := &CacheSet{caches: make([]*ccdCache, topo.NumCCDs())}
+	cs := &CacheSet{
+		caches:  make([]*ccdCache, topo.NumCCDs()),
+		ccdHits: make([]uint64, topo.NumCCDs()),
+		ccdMiss: make([]uint64, topo.NumCCDs()),
+	}
 	for i := range cs.caches {
 		cs.caches[i] = newCCDCache(capBlocks)
 	}
@@ -95,13 +101,16 @@ func (cs *CacheSet) Disabled() bool { return cs.disabled }
 func (cs *CacheSet) Touch(ccd, regionID, block int) bool {
 	if cs.disabled {
 		cs.misses++
+		cs.ccdMiss[ccd]++
 		return false
 	}
 	hit := cs.caches[ccd].touch(makeBlockKey(regionID, block))
 	if hit {
 		cs.hits++
+		cs.ccdHits[ccd]++
 	} else {
 		cs.misses++
+		cs.ccdMiss[ccd]++
 	}
 	return hit
 }
@@ -117,10 +126,23 @@ func (cs *CacheSet) Reset() {
 		c.reset()
 	}
 	cs.hits, cs.misses = 0, 0
+	for i := range cs.ccdHits {
+		cs.ccdHits[i], cs.ccdMiss[i] = 0, 0
+	}
 }
 
 // Stats returns the raw hit/miss counters since the last Reset.
 func (cs *CacheSet) Stats() (hits, misses uint64) { return cs.hits, cs.misses }
+
+// NumCCDs returns the number of per-CCD caches in the set.
+func (cs *CacheSet) NumCCDs() int { return len(cs.caches) }
+
+// CCDStats returns one CCD's hit/miss counters since the last Reset. The
+// per-CCD counters always sum to Stats(), which is what the observability
+// layer exports as machine_l3_{hits,misses}_total{ccd="N"}.
+func (cs *CacheSet) CCDStats(ccd int) (hits, misses uint64) {
+	return cs.ccdHits[ccd], cs.ccdMiss[ccd]
+}
 
 // HitRate returns the global hit fraction since the last Reset
 // (0 when nothing was accessed).

@@ -1,0 +1,274 @@
+// Package obs is the unified observability layer of the reproduction: a
+// pluggable, near-zero-overhead subsystem the simulator stack reports into
+// — typed counter/gauge/histogram registries with per-component
+// namespaces, a structured ring buffer of ILAN configuration decisions,
+// and a virtual-time profile aggregated as folded stacks.
+//
+// The design follows the overhead contract of DESIGN.md §9:
+//
+//   - Disabled is the default. A Runtime/Machine with no obs.Run attached
+//     executes the exact PR 2 hot path: high-frequency quantities (events
+//     fired, steals, resource bytes) are *pulled* from counters the
+//     simulator maintains anyway, at end of run, instead of being pushed
+//     per event. The only always-on additions are plain integer
+//     increments.
+//   - Every handle type (Registry, Scope, Counter, Gauge, Histogram, Ring,
+//     Profile, Run) is nil-safe: calling any method on a nil receiver is a
+//     no-op or zero value, so instrumentation sites need no flag checks
+//     and the disabled path costs one predictable nil-test branch.
+//   - One Run belongs to one simulated run on one goroutine (the same
+//     single-threaded contract as sim.Engine), so no locks are taken;
+//     cross-run aggregation happens on immutable Snapshots.
+//
+// Metric names are Prometheus-style: `component_name_unit` with optional
+// `{label="value"}` suffixes, e.g. `machine_mc_utilization{node="2"}`.
+// Exporters (export.go) render Snapshots as Prometheus text, JSON, and
+// folded stacks for flamegraph tools.
+package obs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind is the metric type, which exporters use for TYPE annotations.
+type Kind uint8
+
+// Metric kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String names the kind in Prometheus vocabulary.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Counter is a monotonically increasing metric. The zero value is usable;
+// a nil Counter discards all updates.
+type Counter struct {
+	v float64
+}
+
+// Add increases the counter. Negative deltas panic: a counter that can
+// decrease is a gauge, and silently accepting one would corrupt merges.
+func (c *Counter) Add(d float64) {
+	if c == nil {
+		return
+	}
+	if d < 0 {
+		panic(fmt.Sprintf("obs: counter decreased by %g", d))
+	}
+	c.v += d
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v++
+}
+
+// Value returns the accumulated count (0 on nil).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a point-in-time measurement. A nil Gauge discards updates.
+type Gauge struct {
+	v float64
+}
+
+// Set stores the current value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+}
+
+// Value returns the last value set (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram is a fixed-bucket distribution. Bounds are upper bucket edges
+// in ascending order; observations above the last bound land in the
+// implicit +Inf bucket. A nil Histogram discards observations.
+type Histogram struct {
+	bounds []float64
+	counts []uint64 // len(bounds)+1; last = +Inf bucket
+	sum    float64
+	n      uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// HistSnapshot is an immutable histogram state for export and merging.
+type HistSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"` // len(Bounds)+1; last bucket is +Inf
+	Sum    float64   `json:"sum"`
+	Count  uint64    `json:"count"`
+}
+
+func (h *Histogram) snapshot() HistSnapshot {
+	return HistSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.counts...),
+		Sum:    h.sum,
+		Count:  h.n,
+	}
+}
+
+// ExpBuckets returns n exponential bucket bounds starting at lo with the
+// given growth factor — the standard latency-style bucketing.
+func ExpBuckets(lo, factor float64, n int) []float64 {
+	if lo <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("obs: bad exponential buckets (lo=%g factor=%g n=%d)", lo, factor, n))
+	}
+	out := make([]float64, n)
+	v := lo
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Registry holds one run's metrics. Construct with NewRegistry; a nil
+// *Registry is the disabled implementation — every lookup returns a nil
+// handle whose methods are no-ops, so instrumented code never branches on
+// an "enabled" flag itself.
+type Registry struct {
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating on first use) the named counter, or nil on a
+// nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the named gauge, or nil.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating on first use) the named histogram with the
+// given bucket bounds, or nil. Re-registering an existing histogram keeps
+// its original bounds.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]uint64, len(bounds)+1),
+		}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Scope is a registry view that prefixes every metric name with a
+// component namespace ("engine", "machine", "taskrt", "ilan", ...). A nil
+// Scope (from a nil registry) hands out nil handles.
+type Scope struct {
+	reg    *Registry
+	prefix string
+}
+
+// Scope returns a namespaced view of the registry. Nil-safe.
+func (r *Registry) Scope(component string) *Scope {
+	if r == nil {
+		return nil
+	}
+	return &Scope{reg: r, prefix: component + "_"}
+}
+
+// Counter returns the namespaced counter, or nil.
+func (s *Scope) Counter(name string) *Counter {
+	if s == nil {
+		return nil
+	}
+	return s.reg.Counter(s.prefix + name)
+}
+
+// Gauge returns the namespaced gauge, or nil.
+func (s *Scope) Gauge(name string) *Gauge {
+	if s == nil {
+		return nil
+	}
+	return s.reg.Gauge(s.prefix + name)
+}
+
+// Histogram returns the namespaced histogram, or nil.
+func (s *Scope) Histogram(name string, bounds []float64) *Histogram {
+	if s == nil {
+		return nil
+	}
+	return s.reg.Histogram(s.prefix+name, bounds)
+}
+
+// Label renders one `{key="value"}` metric-name suffix. Values are
+// formatted with %v, so integer node/CCD indices stay compact.
+func Label(key string, value any) string {
+	return fmt.Sprintf("{%s=%q}", key, fmt.Sprintf("%v", value))
+}

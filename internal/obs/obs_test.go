@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestNilSafety drives every handle method through nil receivers: the
+// disabled layer must be a silent no-op end to end.
+func TestNilSafety(t *testing.T) {
+	var run *Run
+	run.Scope("engine").Counter("x_total").Inc()
+	run.Scope("engine").Counter("x_total").Add(3)
+	run.Scope("machine").Gauge("g").Set(4)
+	run.Scope("taskrt").Histogram("h", []float64{1, 2}).Observe(1.5)
+	run.Decisions().Record(Decision{LoopID: 1})
+	run.Profile().Add("a", "b", 1)
+	if run.Snapshot() != nil {
+		t.Fatal("disabled run produced a snapshot")
+	}
+	if run.Registry() != nil || run.Decisions() != nil || run.Profile() != nil {
+		t.Fatal("disabled run exposed live components")
+	}
+	var reg *Registry
+	if reg.Counter("c") != nil || reg.Gauge("g") != nil ||
+		reg.Histogram("h", nil) != nil || reg.Scope("s") != nil {
+		t.Fatal("nil registry handed out live handles")
+	}
+	if got := run.Decisions().Total(); got != 0 {
+		t.Fatalf("nil ring total = %d", got)
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Scope("engine").Counter("events_fired_total")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %g, want 5", c.Value())
+	}
+	if r.Counter("engine_events_fired_total") != c {
+		t.Fatal("scoped counter not shared with the full-name lookup")
+	}
+	g := r.Gauge("util")
+	g.Set(0.25)
+	g.Set(0.5)
+	if g.Value() != 0.5 {
+		t.Fatalf("gauge = %g, want last-set 0.5", g.Value())
+	}
+	h := r.Histogram("lat", []float64{1, 10})
+	for _, v := range []float64{0.5, 1, 5, 100} {
+		h.Observe(v)
+	}
+	snap := h.snapshot()
+	// SearchFloat64s puts v == bound into the bucket above it.
+	want := []uint64{2, 1, 1}
+	for i, c := range snap.Counts {
+		if c != want[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, c, want[i])
+		}
+	}
+	if snap.Count != 4 || snap.Sum != 106.5 {
+		t.Fatalf("count/sum = %d/%g", snap.Count, snap.Sum)
+	}
+}
+
+func TestCounterRejectsDecrease(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	NewRegistry().Counter("c").Add(-1)
+}
+
+func TestRingWraps(t *testing.T) {
+	r := NewRing(3)
+	for i := 1; i <= 5; i++ {
+		r.Record(Decision{K: i})
+	}
+	if r.Total() != 5 {
+		t.Fatalf("total = %d, want 5", r.Total())
+	}
+	ds := r.Decisions()
+	if len(ds) != 3 {
+		t.Fatalf("retained %d decisions, want 3", len(ds))
+	}
+	for i, want := range []int{3, 4, 5} {
+		if ds[i].K != want {
+			t.Fatalf("decisions[%d].K = %d, want %d (oldest-first order)", i, ds[i].K, want)
+		}
+	}
+}
+
+func TestSnapshotAndMerge(t *testing.T) {
+	mkRun := func(c float64, g float64, rep int) *Snapshot {
+		run := NewRun(Options{TraceDecisions: true, RingCap: 8})
+		run.Scope("taskrt").Counter("steals_local_total").Add(c)
+		run.Scope("machine").Gauge(`mc_utilization{node="0"}`).Set(g)
+		run.Scope("taskrt").Histogram("loop_elapsed_sec", []float64{1}).Observe(g)
+		run.Decisions().Record(Decision{LoopID: 1, K: 1, Phase: "explore"})
+		run.Profile().Add("loop", "compute", c)
+		s := run.Snapshot()
+		for i := range s.Decisions {
+			s.Decisions[i].Rep = rep
+		}
+		return s
+	}
+	a, b := mkRun(2, 0.2, 0), mkRun(4, 0.6, 1)
+	m := Merge([]*Snapshot{a, nil, b})
+	if m.Runs != 2 {
+		t.Fatalf("runs = %d", m.Runs)
+	}
+	if got := m.Counters["taskrt_steals_local_total"]; got != 6 {
+		t.Fatalf("merged counter = %g, want 6 (sum)", got)
+	}
+	if got := m.Gauges[`machine_mc_utilization{node="0"}`]; got != 0.4 {
+		t.Fatalf("merged gauge = %g, want 0.4 (mean)", got)
+	}
+	if got := m.Histograms["taskrt_loop_elapsed_sec"].Count; got != 2 {
+		t.Fatalf("merged hist count = %d, want 2", got)
+	}
+	if len(m.Decisions) != 2 || m.Decisions[0].Rep != 0 || m.Decisions[1].Rep != 1 {
+		t.Fatalf("merged decisions wrong: %+v", m.Decisions)
+	}
+	if got := m.Profile["loop;compute"]; got != 6 {
+		t.Fatalf("merged profile = %g, want 6", got)
+	}
+	if Merge([]*Snapshot{nil, nil}) != nil {
+		t.Fatal("all-nil merge produced a snapshot")
+	}
+}
+
+// TestSnapshotJSONDeterministic: identical contents must serialize to
+// identical bytes — the foundation of the jobs=1 vs jobs=N metrics gate.
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	build := func() []byte {
+		run := NewRun(Options{TraceDecisions: true})
+		sc := run.Scope("m")
+		// Insert in varying order; map key sorting must hide it.
+		for _, n := range []string{"z_total", "a_total", "k_total"} {
+			sc.Counter(n).Add(1)
+		}
+		sc.Gauge("g2").Set(2)
+		sc.Gauge("g1").Set(1)
+		run.Profile().Add("l2", "mem", 2)
+		run.Profile().Add("l1", "cpu", 1)
+		var buf bytes.Buffer
+		if err := run.Snapshot().WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a := build()
+	for i := 0; i < 10; i++ {
+		if !bytes.Equal(a, build()) {
+			t.Fatal("snapshot JSON bytes differ across identical builds")
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	run := NewRun(Options{})
+	run.Scope("engine").Counter("events_fired_total").Add(10)
+	run.Scope("machine").Gauge(`mc_utilization{node="1"}`).Set(0.5)
+	run.Scope("machine").Gauge(`mc_utilization{node="0"}`).Set(0.25)
+	run.Scope("taskrt").Histogram("loop_elapsed_sec", []float64{1, 2}).Observe(1.5)
+	var buf bytes.Buffer
+	if err := run.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE engine_events_fired_total counter\n",
+		"engine_events_fired_total 10\n",
+		"# TYPE machine_mc_utilization gauge\n",
+		"machine_mc_utilization{node=\"0\"} 0.25\n",
+		"machine_mc_utilization{node=\"1\"} 0.5\n",
+		"# TYPE taskrt_loop_elapsed_sec histogram\n",
+		"taskrt_loop_elapsed_sec_bucket{le=\"2\"} 1\n",
+		"taskrt_loop_elapsed_sec_bucket{le=\"+Inf\"} 1\n",
+		"taskrt_loop_elapsed_sec_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// The family TYPE line must appear once even with two labeled samples.
+	if strings.Count(out, "# TYPE machine_mc_utilization gauge") != 1 {
+		t.Fatalf("duplicated TYPE line:\n%s", out)
+	}
+}
+
+func TestWriteFolded(t *testing.T) {
+	run := NewRun(Options{})
+	run.Profile().Add("CG.spmv", "compute", 0.0025)
+	run.Profile().Add("CG.spmv", "memory", 0.001)
+	run.Profile().Add("tiny", "overhead", 1e-9) // rounds up to 1us, not 0
+	var buf bytes.Buffer
+	if err := run.Snapshot().WriteFolded(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "CG.spmv;compute 2500\nCG.spmv;memory 1000\ntiny;overhead 1\n"
+	if buf.String() != want {
+		t.Fatalf("folded output:\n%q\nwant\n%q", buf.String(), want)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(0.25, 2, 4)
+	want := []float64{0.25, 0.5, 1, 2}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("bucket %d = %g, want %g", i, b[i], want[i])
+		}
+	}
+}
+
+func TestLabel(t *testing.T) {
+	if got := Label("node", 3); got != `{node="3"}` {
+		t.Fatalf("Label = %q", got)
+	}
+}

@@ -1,0 +1,187 @@
+package obs
+
+// Decision is one ILAN configuration selection as the decision trace
+// records it: which loop, at which point of the search, chose which
+// (num_threads, node_mask, steal_policy) triple, and what the measured
+// objective score of that execution was — all in virtual time.
+type Decision struct {
+	// TimeSec is the virtual time the measurement completed at.
+	TimeSec float64 `json:"t"`
+	// Rep is the campaign repetition the decision belongs to (filled in by
+	// the harness when per-run traces are merged into a cell).
+	Rep int `json:"rep"`
+	// LoopID identifies the taskloop (the PTT row set); K is the loop's
+	// 1-based execution ordinal.
+	LoopID int `json:"loop"`
+	K      int `json:"k"`
+	// Phase is the search phase the execution was planned in
+	// ("explore", "eval-steal", "settled").
+	Phase string `json:"phase"`
+	// Threads, NodeMask, StealFull are the chosen configuration.
+	Threads   int    `json:"threads"`
+	NodeMask  uint64 `json:"mask"`
+	StealFull bool   `json:"stealFull"`
+	// Score is the objective value measured for the execution, in the unit
+	// of the active objective (seconds, joules, or joule-seconds).
+	Score float64 `json:"score"`
+}
+
+// Ring is a fixed-capacity decision ring buffer. When full, the oldest
+// decision is overwritten; Total keeps counting, so a snapshot reveals
+// truncation. A nil Ring discards records.
+type Ring struct {
+	buf   []Decision
+	next  int
+	total uint64
+}
+
+// NewRing returns a ring holding the last capacity decisions.
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Decision, 0, capacity)}
+}
+
+// Record appends a decision, overwriting the oldest once full.
+func (r *Ring) Record(d Decision) {
+	if r == nil {
+		return
+	}
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, d)
+	} else {
+		r.buf[r.next] = d
+		r.next = (r.next + 1) % cap(r.buf)
+	}
+	r.total++
+}
+
+// Total returns the number of decisions ever recorded (0 on nil).
+func (r *Ring) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.total
+}
+
+// Decisions returns the retained decisions in recording order.
+func (r *Ring) Decisions() []Decision {
+	if r == nil || len(r.buf) == 0 {
+		return nil
+	}
+	out := make([]Decision, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// profKey keys one folded-stack frame pair without building a string on
+// the instrumentation path.
+type profKey struct {
+	frame1 string
+	frame2 string
+}
+
+// Profile accumulates virtual-time samples as two-frame folded stacks
+// (`frame1;frame2 weight`): the runtime adds one sample per taskloop
+// completion attributing the loop's elapsed time to compute, memory, and
+// scheduling-overhead components. A nil Profile discards samples.
+type Profile struct {
+	samples map[profKey]float64
+}
+
+// NewProfile returns an empty profile.
+func NewProfile() *Profile {
+	return &Profile{samples: make(map[profKey]float64)}
+}
+
+// Add accumulates sec seconds of virtual time under frame1;frame2.
+// Non-positive weights are dropped, matching folded-stack semantics.
+func (p *Profile) Add(frame1, frame2 string, sec float64) {
+	if p == nil || sec <= 0 {
+		return
+	}
+	p.samples[profKey{frame1, frame2}] += sec
+}
+
+// fold renders the profile as "a;b" -> seconds for snapshotting.
+func (p *Profile) fold() map[string]float64 {
+	if p == nil || len(p.samples) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(p.samples))
+	for k, v := range p.samples {
+		out[k.frame1+";"+k.frame2] += v
+	}
+	return out
+}
+
+// DefaultRingCap is the decision-ring capacity used when the caller does
+// not size it. A full ILAN campaign records one decision per taskloop
+// execution; 4096 holds every decision of the paper-scale benchmarks.
+const DefaultRingCap = 4096
+
+// Run is one simulated run's collector: the registry plus the optional
+// decision ring and virtual-time profile. A nil *Run is the disabled
+// observability layer; all methods and the component accessors are
+// nil-safe, so `rt.Obs().Decisions().Record(...)` costs two nil checks
+// when observability is off.
+type Run struct {
+	reg  *Registry
+	ring *Ring
+	prof *Profile
+}
+
+// Options configures a Run.
+type Options struct {
+	// TraceDecisions enables the decision ring buffer.
+	TraceDecisions bool
+	// RingCap sizes the ring (0 selects DefaultRingCap).
+	RingCap int
+}
+
+// NewRun builds an enabled collector.
+func NewRun(o Options) *Run {
+	r := &Run{reg: NewRegistry(), prof: NewProfile()}
+	if o.TraceDecisions {
+		capacity := o.RingCap
+		if capacity == 0 {
+			capacity = DefaultRingCap
+		}
+		r.ring = NewRing(capacity)
+	}
+	return r
+}
+
+// Registry returns the run's metric registry (nil when disabled).
+func (r *Run) Registry() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.reg
+}
+
+// Scope returns a component-namespaced view of the run's registry.
+func (r *Run) Scope(component string) *Scope {
+	if r == nil {
+		return nil
+	}
+	return r.reg.Scope(component)
+}
+
+// Decisions returns the decision ring (nil when disabled or not traced).
+func (r *Run) Decisions() *Ring {
+	if r == nil {
+		return nil
+	}
+	return r.ring
+}
+
+// Profile returns the virtual-time profile (nil when disabled).
+func (r *Run) Profile() *Profile {
+	if r == nil {
+		return nil
+	}
+	return r.prof
+}

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"github.com/ilan-sched/ilan/internal/harness"
+	"github.com/ilan-sched/ilan/internal/obs"
 	"github.com/ilan-sched/ilan/internal/stats"
 )
 
@@ -35,6 +36,11 @@ type Cell struct {
 	Times           []float64 `json:"times"`
 	Overheads       []float64 `json:"overheads"`
 	WeightedThreads []float64 `json:"weightedThreads"`
+	// Obs is the cell's merged observability snapshot: counters and
+	// histograms summed over the repetitions, gauges averaged, the ILAN
+	// decision trace concatenated in repetition order. Present only when
+	// the campaign ran with metrics enabled.
+	Obs *obs.Snapshot `json:"obs,omitempty"`
 }
 
 // MeanTime returns the cell's mean elapsed seconds.
@@ -50,7 +56,7 @@ func FromMatrix(mx *harness.Matrix, cfg harness.Config, label string) *File {
 		Class:   cfg.Class.String(),
 	}
 	mx.EachCell(func(c *harness.Cell) {
-		cell := Cell{Bench: c.Bench, Kind: c.Kind.String()}
+		cell := Cell{Bench: c.Bench, Kind: c.Kind.String(), Obs: c.MergedObs()}
 		for _, s := range c.Samples {
 			cell.Times = append(cell.Times, s.ElapsedSec)
 			cell.Overheads = append(cell.Overheads, s.OverheadSec)

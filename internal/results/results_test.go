@@ -162,3 +162,63 @@ func TestReadRejectsBadFiles(t *testing.T) {
 		})
 	}
 }
+
+// TestRoundTripPreservesObs: a metrics-enabled campaign's per-cell merged
+// snapshot must survive the save/load cycle byte-for-byte, so obsdump can
+// inspect saved campaigns exactly as ilanexp produced them.
+func TestRoundTripPreservesObs(t *testing.T) {
+	cfg := harness.Config{
+		Class:          workloads.ClassTest,
+		Reps:           2,
+		Seed:           1,
+		Noise:          machine.NoiseConfig{},
+		Topo:           topology.SmallTest(),
+		Metrics:        true,
+		TraceDecisions: true,
+	}
+	b, _ := workloads.ByName("Matmul")
+	mx, err := harness.Run([]workloads.Benchmark{b},
+		[]harness.Kind{harness.KindBaseline, harness.KindILAN}, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := FromMatrix(mx, cfg, "obs")
+	for i := range f.Cells {
+		if f.Cells[i].Obs == nil {
+			t.Fatalf("cell %s/%s lost its obs snapshot in FromMatrix", f.Cells[i].Bench, f.Cells[i].Kind)
+		}
+	}
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f.Cells {
+		var a, c bytes.Buffer
+		if err := f.Cells[i].Obs.WriteJSON(&a); err != nil {
+			t.Fatal(err)
+		}
+		if g.Cells[i].Obs == nil {
+			t.Fatalf("cell %s/%s lost its obs snapshot in Read", f.Cells[i].Bench, f.Cells[i].Kind)
+		}
+		if err := g.Cells[i].Obs.WriteJSON(&c); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), c.Bytes()) {
+			t.Fatalf("cell %s/%s obs snapshot changed across the round trip", f.Cells[i].Bench, f.Cells[i].Kind)
+		}
+	}
+	// The ILAN cell must carry a decision trace; the baseline must not.
+	for i := range g.Cells {
+		hasTrace := g.Cells[i].Obs.DecisionsTotal > 0
+		if g.Cells[i].Kind == "ilan" && !hasTrace {
+			t.Fatal("ILAN cell has no decision trace after round trip")
+		}
+		if g.Cells[i].Kind == "baseline" && hasTrace {
+			t.Fatal("baseline cell unexpectedly carries ILAN decisions")
+		}
+	}
+}

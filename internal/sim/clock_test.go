@@ -1,0 +1,54 @@
+package sim
+
+import "testing"
+
+// TestTimeSeconds pins the unit contract of the clock: Time is virtual
+// seconds, and Seconds() is the one explicit conversion point objective
+// code (EDP) relies on.
+func TestTimeSeconds(t *testing.T) {
+	if got := Time(0.25).Seconds(); got != 0.25 {
+		t.Fatalf("Time(0.25).Seconds() = %g, want 0.25", got)
+	}
+	if got := Time(0).Seconds(); got != 0 {
+		t.Fatalf("Time(0).Seconds() = %g, want 0", got)
+	}
+}
+
+// TestCancelledCounter: the engine counts each successful cancellation
+// exactly once — double-cancels and cancels of already-fired events must
+// not inflate the observability counter.
+func TestCancelledCounter(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	h1 := e.After(1, func() { fired++ })
+	h2 := e.After(2, func() { fired++ })
+	e.After(3, func() { fired++ })
+
+	if !h1.Cancel() {
+		t.Fatal("first cancel of a pending event failed")
+	}
+	if h1.Cancel() {
+		t.Fatal("second cancel of the same event succeeded")
+	}
+	if !h2.Cancel() {
+		t.Fatal("cancel of second pending event failed")
+	}
+	if e.Cancelled() != 2 {
+		t.Fatalf("Cancelled() = %d after two cancellations, want 2", e.Cancelled())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("%d events fired, want 1", fired)
+	}
+	if h2.Cancel() {
+		t.Fatal("cancelling after the run succeeded")
+	}
+	if e.Cancelled() != 2 {
+		t.Fatalf("Cancelled() = %d after the run, want still 2", e.Cancelled())
+	}
+	if e.Processed() != 1 {
+		t.Fatalf("Processed() = %d, want 1 (cancelled events never count)", e.Processed())
+	}
+}

@@ -45,6 +45,7 @@ func (h Handle) Cancel() bool {
 	if ev == nil || ev.gen != h.gen {
 		return false
 	}
+	ev.eng.cancelled++
 	heap.Remove(&ev.eng.events, ev.idx)
 	ev.eng.recycle(ev)
 	return true
@@ -94,6 +95,11 @@ type Engine struct {
 	free []*event
 	// processed counts events executed; used by tests and runaway guards.
 	processed uint64
+	// cancelled counts events removed via Handle.Cancel before firing.
+	// The observability layer samples processed/cancelled at end of run
+	// (pull, not push), so the hot loop carries only these plain
+	// increments.
+	cancelled uint64
 	// limit aborts Run after this many events (0 = unlimited) to convert
 	// accidental infinite event loops into an error instead of a hang.
 	limit uint64
@@ -112,6 +118,9 @@ func (e *Engine) Now() Time { return e.now }
 
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
+
+// Cancelled returns the number of events cancelled before firing.
+func (e *Engine) Cancelled() uint64 { return e.cancelled }
 
 // Pending returns the number of live events waiting in the queue.
 // Cancelled events are removed eagerly, so they never count.

@@ -1,0 +1,59 @@
+package taskrt
+
+import "github.com/ilan-sched/ilan/internal/obs"
+
+// loopElapsedBuckets spans loop wall times from 100 microseconds to ~0.4
+// seconds, the range the paper-scale benchmarks cover.
+var loopElapsedBuckets = obs.ExpBuckets(1e-4, 2, 12)
+
+// SetObs attaches an observability collector to the runtime. A nil run
+// (the default) disables observation: the per-loop hook reduces to one nil
+// check and the hot task path is untouched either way — everything
+// high-frequency is pulled from the runtime's existing aggregates by
+// FinalizeObs instead of being pushed per event.
+func (rt *Runtime) SetObs(run *obs.Run) {
+	rt.obsRun = run
+	rt.obsLoopHist = run.Scope("taskrt").Histogram("loop_elapsed_sec", loopElapsedBuckets)
+	if run != nil {
+		rt.mach.EnableObs()
+	}
+}
+
+// Obs returns the attached collector (nil when observability is off).
+// Schedulers use it from Observe to record decision traces.
+func (rt *Runtime) Obs() *obs.Run { return rt.obsRun }
+
+// observeLoop pushes the per-loop-completion samples: the elapsed-time
+// histogram and the virtual-time profile attributing the loop's execution
+// to compute, memory, and runtime overhead. Called from completeLoop under
+// an obsRun nil check.
+func (rt *Runtime) observeLoop(le *loopExec) {
+	rt.obsLoopHist.Observe(le.st.Elapsed.Seconds())
+	p := rt.obsRun.Profile()
+	p.Add(le.spec.Name, "compute", le.st.ComputeSeconds)
+	p.Add(le.spec.Name, "memory", le.st.MemorySeconds)
+	p.Add(le.spec.Name, "overhead", le.st.OverheadSec)
+}
+
+// FinalizeObs samples the run-level aggregates — engine event counts,
+// steal statistics, loop totals, and the machine's counters — into the
+// collector's registry. Call once, after the run has drained. No-op when
+// observability is off.
+func (rt *Runtime) FinalizeObs() {
+	run := rt.obsRun
+	if run == nil {
+		return
+	}
+	reg := run.Registry()
+	esc := reg.Scope("engine")
+	esc.Counter("events_fired_total").Add(float64(rt.eng.Processed()))
+	esc.Counter("events_cancelled_total").Add(float64(rt.eng.Cancelled()))
+	tsc := reg.Scope("taskrt")
+	tsc.Counter("steals_local_total").Add(float64(rt.stealsLocal))
+	tsc.Counter("steals_remote_total").Add(float64(rt.stealsRemote))
+	tsc.Counter("steal_attempts_total").Add(float64(rt.stealAttempts))
+	tsc.Counter("loop_executions_total").Add(float64(rt.loopExecutions))
+	tsc.Counter("overhead_seconds_total").Add(rt.overheadSec)
+	tsc.Counter("loop_seconds_total").Add(rt.elapsedLoopSec)
+	rt.mach.FillObs(reg)
+}

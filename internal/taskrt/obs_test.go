@@ -1,0 +1,171 @@
+package taskrt
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/ilan-sched/ilan/internal/memsys"
+	"github.com/ilan-sched/ilan/internal/obs"
+)
+
+// loopAllocsObs mirrors loopAllocs with a live collector attached, so the
+// measured cost includes the per-loop observation hook and the machine's
+// load-integral accounting.
+func loopAllocsObs(t *testing.T, plan func(*Runtime, *LoopSpec) *Plan, spec *LoopSpec) float64 {
+	t.Helper()
+	rt := newTestRuntime(t, &silentScheduler{plan: plan})
+	rt.SetObs(obs.NewRun(obs.Options{TraceDecisions: true}))
+	eng := rt.Machine().Engine()
+	return testing.AllocsPerRun(8, func() {
+		rt.SubmitLoop(spec, nil)
+		if err := eng.Run(); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// TestObsEnabledLoopAllocsTaskCountIndependent is the enabled half of the
+// overhead contract: with metrics and decision tracing on, per-loop
+// allocations must stay a small constant independent of the task count —
+// the observation hook samples per loop, never per task. (The disabled
+// half is TestDispatchAllocsAreZero in hotpath_test.go, which runs the
+// exact PR 2 path.)
+func TestObsEnabledLoopAllocsTaskCountIndependent(t *testing.T) {
+	small := loopAllocsObs(t, spreadPlan, computeLoop(1, 256, 256, 1e-8))
+	big := loopAllocsObs(t, spreadPlan, computeLoop(1, 1024, 1024, 1e-8))
+	t.Logf("per-loop allocs with obs enabled: 256 tasks = %g, 1024 tasks = %g", small, big)
+	if big != small {
+		t.Fatalf("obs-enabled per-loop allocs grew with task count: 256 tasks = %g, 1024 tasks = %g "+
+			"(observation must be per-loop, not per-task)", small, big)
+	}
+	if small > 50 {
+		t.Fatalf("obs-enabled per-loop constant allocs = %g, want a small constant (< 50)", small)
+	}
+}
+
+// TestObsFinalizeCountersMatchAggregates pins the pull contract:
+// FinalizeObs must export exactly the aggregates the runtime and engine
+// already maintain, and the per-loop histogram/profile hooks must have
+// fired once per completed loop.
+func TestObsFinalizeCountersMatchAggregates(t *testing.T) {
+	rt := newTestRuntime(t, &silentScheduler{plan: masterQueuePlan})
+	run := obs.NewRun(obs.Options{})
+	rt.SetObs(run)
+	if rt.Obs() != run {
+		t.Fatal("Obs() does not return the attached run")
+	}
+	spec := computeLoop(1, 64, 64, 1e-5)
+	const loops = 3
+	for i := 0; i < loops; i++ {
+		rt.SubmitLoop(spec, nil)
+		if err := rt.Machine().Engine().Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt.FinalizeObs()
+	snap := run.Snapshot()
+
+	want := map[string]float64{
+		"engine_events_fired_total":     float64(rt.eng.Processed()),
+		"engine_events_cancelled_total": float64(rt.eng.Cancelled()),
+		"taskrt_steals_local_total":     float64(rt.stealsLocal),
+		"taskrt_steals_remote_total":    float64(rt.stealsRemote),
+		"taskrt_steal_attempts_total":   float64(rt.stealAttempts),
+		"taskrt_loop_executions_total":  loops,
+		"taskrt_overhead_seconds_total": rt.overheadSec,
+		"taskrt_loop_seconds_total":     rt.elapsedLoopSec,
+	}
+	for name, v := range want {
+		if got := snap.Counters[name]; got != v {
+			t.Errorf("counter %s = %g, want %g", name, got, v)
+		}
+	}
+	// The master-queue plan forces stealing, so the split must be nonempty.
+	if rt.stealsLocal+rt.stealsRemote == 0 {
+		t.Fatal("master-queue plan produced no steals; the split counters are untested")
+	}
+	h, ok := snap.Histograms["taskrt_loop_elapsed_sec"]
+	if !ok {
+		t.Fatal("loop-elapsed histogram missing")
+	}
+	if h.Count != loops {
+		t.Fatalf("loop-elapsed histogram count = %d, want %d", h.Count, loops)
+	}
+	for _, comp := range []string{"compute", "memory", "overhead"} {
+		if _, ok := snap.Profile["compute;"+comp]; !ok {
+			t.Fatalf("profile missing folded stack %q (have %v)", "compute;"+comp, snap.Profile)
+		}
+	}
+}
+
+// TestObsMachineMetricsFromMemoryLoop drives a memory-bound loop and
+// checks the machine-side metrics FinalizeObs pulls in: per-node
+// controller bytes, bandwidth utilization in (0, 1], a positive mean
+// queue depth, and block-granular L3 accounting.
+func TestObsMachineMetricsFromMemoryLoop(t *testing.T) {
+	rt := newTestRuntime(t, &silentScheduler{plan: spreadPlan})
+	run := obs.NewRun(obs.Options{})
+	rt.SetObs(run)
+	r := rt.Machine().Memory().NewRegion("data", 64*memsys.BlockSize)
+	r.PlaceOnNode(0)
+	spec := &LoopSpec{
+		ID: 1, Name: "mem", Iters: 16, Tasks: 16,
+		Demand: func(lo, hi int) (float64, []memsys.Access) {
+			off := int64(lo) * 4 * memsys.BlockSize
+			return 0, []memsys.Access{{Region: r, Offset: off, Bytes: 2 * memsys.BlockSize, Pattern: memsys.Stream}}
+		},
+	}
+	rt.SubmitLoop(spec, nil)
+	if err := rt.Machine().Engine().Run(); err != nil {
+		t.Fatal(err)
+	}
+	rt.FinalizeObs()
+	snap := run.Snapshot()
+
+	node0 := obs.Label("node", 0)
+	if b := snap.Counters["machine_mc_bytes_total"+node0]; b <= 0 {
+		t.Fatalf("mc_bytes_total%s = %g, want > 0", node0, b)
+	}
+	util := snap.Gauges["machine_mc_utilization"+node0]
+	if util <= 0 || util > 1 {
+		t.Fatalf("mc_utilization%s = %g, want in (0, 1]", node0, util)
+	}
+	if qd := snap.Gauges["machine_mc_queue_depth"+node0]; qd <= 0 {
+		t.Fatalf("mc_queue_depth%s = %g, want > 0 for a contended controller", node0, qd)
+	}
+	var l3 float64
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, "machine_l3_hits_total") || strings.HasPrefix(name, "machine_l3_misses_total") {
+			l3 += v
+		}
+	}
+	if l3 <= 0 {
+		t.Fatal("no per-CCD L3 counters exported for a block-granular memory loop")
+	}
+	if tk := snap.Counters["machine_tasks_total"]; tk != 16 {
+		t.Fatalf("machine_tasks_total = %g, want 16", tk)
+	}
+}
+
+// TestObsNilRunIsNoop: the default (no collector) path must stay inert —
+// nil accessors, no-op finalize, and SetObs(nil) must fully detach a
+// previously attached collector.
+func TestObsNilRunIsNoop(t *testing.T) {
+	rt := newTestRuntime(t, &silentScheduler{plan: spreadPlan})
+	if rt.Obs() != nil {
+		t.Fatal("fresh runtime has a non-nil obs run")
+	}
+	rt.FinalizeObs() // must not panic
+
+	run := obs.NewRun(obs.Options{})
+	rt.SetObs(run)
+	rt.SetObs(nil)
+	rt.SubmitLoop(computeLoop(1, 16, 16, 1e-6), nil)
+	if err := rt.Machine().Engine().Run(); err != nil {
+		t.Fatal(err)
+	}
+	rt.FinalizeObs()
+	if snap := run.Snapshot(); snap.Histograms["taskrt_loop_elapsed_sec"].Count != 0 {
+		t.Fatal("detached collector still received loop observations")
+	}
+}

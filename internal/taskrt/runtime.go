@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/ilan-sched/ilan/internal/machine"
+	"github.com/ilan-sched/ilan/internal/obs"
 	"github.com/ilan-sched/ilan/internal/sim"
 	"github.com/ilan-sched/ilan/internal/topology"
 )
@@ -46,6 +47,12 @@ type Runtime struct {
 	cur     *loopExec
 	energy  machine.EnergyModel
 	trace   *Trace
+
+	// obsRun is the attached observability collector (nil = off, the
+	// default); obsLoopHist caches the loop-elapsed histogram handle so the
+	// per-loop hook performs no registry lookups. See obs.go.
+	obsRun      *obs.Run
+	obsLoopHist *obs.Histogram
 
 	// victims is the current plan's victim partition, rebuilt once per
 	// SubmitLoop so trySteal never assembles victim slices per attempt.
@@ -410,6 +417,9 @@ func (rt *Runtime) completeLoop() {
 	le.st.MemorySeconds = endCtrs.MemorySeconds - le.startCtrs.MemorySeconds
 	if rt.trace != nil {
 		rt.trace.endLoop(le.spec, le.exec, le.start, rt.eng.Now(), le.st.ActiveThreads)
+	}
+	if rt.obsRun != nil {
+		rt.observeLoop(le)
 	}
 	rt.cur = nil
 	rt.loopExecutions++

@@ -56,7 +56,7 @@ func TestEPIsSchedulerNeutral(t *testing.T) {
 		return float64(res.Elapsed)
 	}
 	base := run(&sched.Baseline{})
-	il := run(ilansched.New(ilansched.DefaultOptions()))
+	il := run(ilansched.MustNew(ilansched.DefaultOptions()))
 	ratio := il / base
 	// At the short test scale, exploration probes (half- and mid-width
 	// runs of a perfectly scaling loop) cost up to ~15%.
@@ -66,7 +66,7 @@ func TestEPIsSchedulerNeutral(t *testing.T) {
 	// Counter-guided selection skips those probes and must close the gap.
 	opts := ilansched.DefaultOptions()
 	opts.CounterGuided = true
-	guided := run(ilansched.New(opts)) / base
+	guided := run(ilansched.MustNew(opts)) / base
 	if guided >= ratio {
 		t.Fatalf("counter-guided EP ratio %g not better than plain %g", guided, ratio)
 	}
@@ -80,7 +80,7 @@ func TestEPIsSchedulerNeutral(t *testing.T) {
 func TestISMoldsLikeSP(t *testing.T) {
 	m := newMachine()
 	b, _ := ByName("IS")
-	s := ilansched.New(ilansched.DefaultOptions())
+	s := ilansched.MustNew(ilansched.DefaultOptions())
 	rt := taskrt.New(m, s, taskrt.DefaultCosts())
 	res, err := rt.RunProgram(b.Build(m, ClassPaper))
 	if err != nil {
@@ -96,7 +96,7 @@ func TestISMoldsLikeSP(t *testing.T) {
 func TestMGLevelsGetIndependentConfigs(t *testing.T) {
 	m := newMachine()
 	b, _ := ByName("MG")
-	s := ilansched.New(ilansched.DefaultOptions())
+	s := ilansched.MustNew(ilansched.DefaultOptions())
 	rt := taskrt.New(m, s, taskrt.DefaultCosts())
 	prog := b.Build(m, ClassTest)
 	if _, err := rt.RunProgram(prog); err != nil {
