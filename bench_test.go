@@ -11,12 +11,15 @@
 package ilan_test
 
 import (
+	"io"
+	"net/http"
 	"testing"
 
 	"github.com/ilan-sched/ilan/internal/harness"
 	ilansched "github.com/ilan-sched/ilan/internal/ilan"
 	"github.com/ilan-sched/ilan/internal/machine"
 	"github.com/ilan-sched/ilan/internal/memsys"
+	"github.com/ilan-sched/ilan/internal/obsserve"
 	"github.com/ilan-sched/ilan/internal/sched"
 	"github.com/ilan-sched/ilan/internal/sim"
 	"github.com/ilan-sched/ilan/internal/stats"
@@ -422,6 +425,76 @@ func BenchmarkFullCampaignCG(b *testing.B) {
 	w, _ := workloads.ByName("CG")
 	for i := 0; i < b.N; i++ {
 		runBench(b, w, newILAN, uint64(i))
+	}
+}
+
+// perLoopAllocs measures the per-loop allocation count of a warmed
+// runtime driving a 512-task compute loop — the hot path the zero-alloc
+// contract (DESIGN.md §8) protects.
+func perLoopAllocs(t *testing.T) float64 {
+	t.Helper()
+	m := benchMachine(1)
+	rt := taskrt.New(m, newBaseline(), taskrt.DefaultCosts())
+	spec := &taskrt.LoopSpec{
+		ID: 1, Name: "hot", Iters: 512, Tasks: 512,
+		Demand: func(lo, hi int) (float64, []memsys.Access) { return 1e-7, nil },
+	}
+	eng := m.Engine()
+	// One warm loop so deque growth and plan buffers are paid up front.
+	rt.SubmitLoop(spec, nil)
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return testing.AllocsPerRun(8, func() {
+		rt.SubmitLoop(spec, nil)
+		if err := eng.Run(); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// TestServeAddsZeroHotPathAllocs pins the live-monitor overhead contract:
+// with a -serve monitor attached (tracker live, HTTP server up, endpoints
+// scraped before and after), the per-loop hot path allocates exactly what
+// it does without one. The tracker is only touched once per repetition at
+// the harness layer — never per loop or per task — and the server only
+// reads snapshots, so the simulator can never block on (or allocate for)
+// the monitor. Scrapes sit outside the measured window because
+// AllocsPerRun counts allocations on every goroutine.
+func TestServeAddsZeroHotPathAllocs(t *testing.T) {
+	base := perLoopAllocs(t)
+
+	track := harness.NewTracker()
+	track.Begin("bench", []harness.CellDecl{{Name: "hot/baseline", Units: 2}})
+	srv := obsserve.New(track)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	scrape := func() {
+		for _, ep := range []string{"/metrics", "/progress"} {
+			resp, err := http.Get("http://" + addr + ep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+		}
+	}
+	scrape()
+	track.UnitDone(0, 0, nil, nil)
+	served := perLoopAllocs(t)
+	track.UnitDone(0, 1, nil, nil)
+	track.Finish(nil)
+	scrape()
+
+	t.Logf("per-loop allocs: without monitor = %g, with monitor = %g", base, served)
+	if served != base {
+		t.Fatalf("-serve changed per-loop allocations: %g without monitor, %g with (must be identical)",
+			base, served)
 	}
 }
 

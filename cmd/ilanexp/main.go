@@ -20,7 +20,10 @@ import (
 	"strings"
 	"time"
 
+	"github.com/ilan-sched/ilan/internal/chrometrace"
 	"github.com/ilan-sched/ilan/internal/harness"
+	"github.com/ilan-sched/ilan/internal/obs"
+	"github.com/ilan-sched/ilan/internal/obsserve"
 	"github.com/ilan-sched/ilan/internal/results"
 	"github.com/ilan-sched/ilan/internal/topology"
 	"github.com/ilan-sched/ilan/internal/workloads"
@@ -42,6 +45,9 @@ func main() {
 	in := flag.String("in", "", "render reports from a saved campaign JSON instead of running")
 	metrics := flag.Bool("metrics", false, "collect observability metrics; merged per cell into the -out JSON")
 	traceDecisions := flag.Bool("trace-decisions", false, "record every ILAN configuration decision (implies -metrics)")
+	serve := flag.String("serve", "", "serve live campaign progress over HTTP on this address (e.g. :8080 or 127.0.0.1:0)")
+	serveLinger := flag.Duration("serve-linger", 0, "keep the -serve monitor up this long after the campaign finishes")
+	perfetto := flag.String("perfetto", "", "write rep 0's execution trace as Perfetto (Chrome trace-event) JSON to this file (implies -metrics -trace-decisions)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 	memprofile := flag.String("memprofile", "", "write a heap-allocation profile to this file at exit")
 	flag.Parse()
@@ -90,6 +96,32 @@ func main() {
 	cfg.Jobs = *jobs
 	cfg.Metrics = *metrics
 	cfg.TraceDecisions = *traceDecisions
+	if *perfetto != "" {
+		// The exporter needs the task trace plus the decision trace; turn
+		// both on rather than failing on a missing flag combination.
+		cfg.TraceTasks = true
+		cfg.TraceDecisions = true
+	}
+
+	// The live monitor observes the campaign through a Tracker the pool
+	// publishes into; it never feeds back, so -out JSON is byte-identical
+	// with or without -serve.
+	var track *harness.Tracker
+	if *serve != "" {
+		track = harness.NewTracker()
+		cfg.Track = track
+		srv := obsserve.New(track)
+		addr, err := srv.Start(*serve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ilanexp:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "serving live campaign monitor on http://%s\n", addr)
+		if *serveLinger > 0 {
+			defer time.Sleep(*serveLinger)
+		}
+	}
 	spec, ok := topology.Presets()[*topo]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "ilanexp: unknown topology %q\n", *topo)
@@ -215,4 +247,45 @@ func main() {
 			fmt.Fprintf(os.Stderr, "campaign written to %s\n", *out)
 		}
 	}
+	if *perfetto != "" {
+		if err := writePerfetto(*perfetto, mx); err != nil {
+			fmt.Fprintln(os.Stderr, "ilanexp:", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "perfetto trace written to %s\n", *perfetto)
+		}
+	}
+}
+
+// writePerfetto exports rep 0's task trace as Chrome trace-event JSON.
+// The ILAN cell is the interesting one (phase transitions, yellow/green
+// stealing); fall back to the first traced cell when the campaign ran
+// without ILAN.
+func writePerfetto(path string, mx *harness.Matrix) error {
+	var cell *harness.Cell
+	mx.EachCell(func(c *harness.Cell) {
+		if c.TaskTrace() == nil {
+			return
+		}
+		if cell == nil || (cell.Kind != harness.KindILAN && c.Kind == harness.KindILAN) {
+			cell = c
+		}
+	})
+	if cell == nil {
+		return fmt.Errorf("no task trace recorded (internal error: -perfetto should imply tracing)")
+	}
+	var decisions []obs.Decision
+	if o := cell.Samples[0].Obs; o != nil {
+		decisions = o.Decisions
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = chrometrace.Write(f, cell.TaskTrace(), decisions, chrometrace.Options{})
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -11,6 +11,13 @@
 //	obsdump -in results.json -cell CG/ilan -format prom
 //	obsdump -in results.json -cell CG/ilan -format decisions
 //	obsdump -in results.json -cell CG/ilan -format folded > cg.folded
+//	obsdump -in results.json -cell CG/ilan perfetto > cg.trace.json
+//
+// The perfetto format (also spellable as a trailing argument, as above)
+// converts the cell's rep-0 task trace plus its decision trace into
+// Chrome trace-event JSON for https://ui.perfetto.dev; the campaign must
+// have run with ilanexp -perfetto (or any config that records a task
+// trace into the -out file).
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"os"
 	"sort"
 
+	"github.com/ilan-sched/ilan/internal/chrometrace"
 	"github.com/ilan-sched/ilan/internal/obs"
 	"github.com/ilan-sched/ilan/internal/results"
 )
@@ -26,8 +34,19 @@ import (
 func main() {
 	in := flag.String("in", "", "campaign JSON written by ilanexp -metrics -out (required)")
 	cell := flag.String("cell", "", "cell to dump, as bench/kind (e.g. CG/ilan); empty lists cells")
-	format := flag.String("format", "summary", "output: summary|prom|folded|decisions|json")
+	format := flag.String("format", "summary", "output: summary|prom|folded|decisions|json|perfetto")
 	flag.Parse()
+
+	// A single trailing argument is a format alias (`obsdump -in f.json
+	// -cell CG/ilan perfetto`), matching how subcommand-style invocations
+	// read; flag parsing stops at the first non-flag, so the alias must
+	// come last.
+	if flag.NArg() == 1 {
+		*format = flag.Arg(0)
+	} else if flag.NArg() > 1 {
+		fmt.Fprintf(os.Stderr, "obsdump: unexpected arguments %v\n", flag.Args()[1:])
+		os.Exit(2)
+	}
 
 	// Flag-value errors exit with code 2, runtime failures with 1 — the
 	// same convention as ilanexp and sweep.
@@ -36,9 +55,9 @@ func main() {
 		os.Exit(2)
 	}
 	switch *format {
-	case "summary", "prom", "folded", "decisions", "json":
+	case "summary", "prom", "folded", "decisions", "json", "perfetto":
 	default:
-		fmt.Fprintf(os.Stderr, "obsdump: unknown format %q (valid: summary, prom, folded, decisions, json)\n", *format)
+		fmt.Fprintf(os.Stderr, "obsdump: unknown format %q (valid: summary, prom, folded, decisions, json, perfetto)\n", *format)
 		os.Exit(2)
 	}
 
@@ -58,19 +77,26 @@ func main() {
 		listCells(file)
 		return
 	}
-	var snap *obs.Snapshot
-	found := false
+	var target *results.Cell
 	for i := range file.Cells {
 		c := &file.Cells[i]
 		if c.Bench+"/"+c.Kind == *cell {
-			snap, found = c.Obs, true
+			target = c
 			break
 		}
 	}
-	if !found {
+	if target == nil {
 		fmt.Fprintf(os.Stderr, "obsdump: no cell %q in %s (try obsdump -in %s to list)\n", *cell, *in, *in)
 		os.Exit(1)
 	}
+	if *format == "perfetto" {
+		if err := writePerfetto(target); err != nil {
+			fmt.Fprintln(os.Stderr, "obsdump:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	snap := target.Obs
 	if snap == nil {
 		fmt.Fprintf(os.Stderr, "obsdump: cell %q has no observability data (rerun the campaign with -metrics)\n", *cell)
 		os.Exit(1)
@@ -92,6 +118,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "obsdump:", err)
 		os.Exit(1)
 	}
+}
+
+// writePerfetto converts the cell's rep-0 task trace (plus its rep-0
+// decisions, when recorded) to Chrome trace-event JSON on stdout.
+func writePerfetto(c *results.Cell) error {
+	if c.Trace == nil {
+		return fmt.Errorf("cell %s/%s has no task trace (rerun the campaign with ilanexp -perfetto, or any tracing config)", c.Bench, c.Kind)
+	}
+	var decisions []obs.Decision
+	if c.Obs != nil {
+		for _, d := range c.Obs.Decisions {
+			if d.Rep == 0 {
+				decisions = append(decisions, d)
+			}
+		}
+	}
+	return chrometrace.Write(os.Stdout, c.Trace, decisions, chrometrace.Options{})
 }
 
 func listCells(file *results.File) {

@@ -7,6 +7,12 @@
 // Usage:
 //
 //	resultdiff -tol 0.05 before.json after.json
+//	resultdiff -obs before.json after.json     # also gate on telemetry
+//
+// With -obs, per-cell merged observability snapshots are compared too:
+// counter (and histogram-count) drift beyond -obstol, plus metric names
+// present in only one file — so CI catches silent telemetry regressions,
+// not just time/threads drift.
 //
 // Exit status: 0 when within tolerance, 1 when differences were found,
 // 2 on usage or I/O errors.
@@ -22,9 +28,11 @@ import (
 
 func main() {
 	tol := flag.Float64("tol", 0.05, "relative tolerance before a change is reported")
+	obsGate := flag.Bool("obs", false, "also compare per-cell observability snapshots (counter drift, missing/new metrics)")
+	obsTol := flag.Float64("obstol", 0.0, "relative tolerance for -obs counter comparisons")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: resultdiff [-tol 0.05] before.json after.json")
+		fmt.Fprintln(os.Stderr, "usage: resultdiff [-tol 0.05] [-obs [-obstol 0.0]] before.json after.json")
 		os.Exit(2)
 	}
 	load := func(path string) *results.File {
@@ -45,14 +53,32 @@ func main() {
 	after := load(flag.Arg(1))
 
 	diffs := results.Compare(before, after, *tol)
-	if len(diffs) == 0 {
-		fmt.Printf("no differences beyond %.1f%% tolerance (%d cells compared)\n",
-			*tol*100, len(before.Cells))
+	var obsDiffs []results.ObsDiff
+	if *obsGate {
+		obsDiffs = results.CompareObs(before, after, *obsTol)
+	}
+	if len(diffs) == 0 && len(obsDiffs) == 0 {
+		if *obsGate {
+			fmt.Printf("no differences beyond %.1f%% tolerance (%d cells compared, obs gate on)\n",
+				*tol*100, len(before.Cells))
+		} else {
+			fmt.Printf("no differences beyond %.1f%% tolerance (%d cells compared)\n",
+				*tol*100, len(before.Cells))
+		}
 		return
 	}
-	fmt.Printf("%d differences beyond %.1f%% tolerance:\n", len(diffs), *tol*100)
-	for _, d := range diffs {
-		fmt.Println(" ", d)
+	if len(diffs) > 0 {
+		fmt.Printf("%d differences beyond %.1f%% tolerance:\n", len(diffs), *tol*100)
+		for _, d := range diffs {
+			fmt.Println(" ", d)
+		}
+	}
+	if len(obsDiffs) > 0 {
+		fmt.Printf("%d observability differences beyond %.1f%% tolerance:\n",
+			len(obsDiffs), *obsTol*100)
+		for _, d := range obsDiffs {
+			fmt.Println(" ", d)
+		}
 	}
 	os.Exit(1)
 }

@@ -16,9 +16,11 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/ilan-sched/ilan/internal/harness"
 	"github.com/ilan-sched/ilan/internal/machine"
+	"github.com/ilan-sched/ilan/internal/obsserve"
 	"github.com/ilan-sched/ilan/internal/topology"
 	"github.com/ilan-sched/ilan/internal/workloads"
 )
@@ -33,6 +35,8 @@ func main() {
 	seed := flag.Uint64("seed", 7, "base seed")
 	metrics := flag.Bool("metrics", false, "collect observability metrics; ILAN steal split rides along per point")
 	traceDecisions := flag.Bool("trace-decisions", false, "record every ILAN configuration decision (implies -metrics)")
+	serve := flag.String("serve", "", "serve live sweep progress over HTTP on this address (e.g. :8080 or 127.0.0.1:0)")
+	serveLinger := flag.Duration("serve-linger", 0, "keep the -serve monitor up this long after the sweep finishes")
 	flag.Parse()
 
 	// Flag-value errors exit with code 2, runtime failures with 1 — the
@@ -82,6 +86,24 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "sweep: unknown class %q\n", *class)
 		os.Exit(2)
+	}
+
+	// As in ilanexp: the monitor only observes, so sweep output is
+	// identical with or without -serve.
+	if *serve != "" {
+		track := harness.NewTracker()
+		cfg.Track = track
+		srv := obsserve.New(track)
+		addr, err := srv.Start(*serve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "serving live sweep monitor on http://%s\n", addr)
+		if *serveLinger > 0 {
+			defer time.Sleep(*serveLinger)
+		}
 	}
 
 	points, err := harness.Sweep(b, sweepParam, values, cfg,

@@ -1,0 +1,208 @@
+// Package chrometrace converts a taskrt execution trace plus the ILAN
+// decision trace into Chrome trace-event JSON, the format the Perfetto UI
+// (https://ui.perfetto.dev) loads directly. The mapping:
+//
+//   - one thread track per simulated core, named "core C (node N)" and
+//     sorted by core index; task executions become complete ("X") slices
+//     named by loop, colored yellow for NUMA-strict tasks and green for
+//     stealable ones;
+//   - inter-node steals become flow arrows ("s"/"f" event pairs) from the
+//     victim core's track to the slice the thief ran the stolen task in;
+//   - ILAN phase transitions and steal-policy flips become global instant
+//     ("i") events on a dedicated "scheduler" track;
+//   - per-node memory-controller bandwidth and queue-pressure load become
+//     counter ("C") tracks derived from the trace's resource samples.
+//
+// Timestamps are virtual seconds scaled to microseconds (the unit the
+// trace-event format mandates).
+package chrometrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/ilan-sched/ilan/internal/obs"
+	"github.com/ilan-sched/ilan/internal/taskrt"
+)
+
+// Options tunes the export. The zero value derives everything from the
+// trace itself.
+type Options struct {
+	// Cores is the number of core tracks to emit. 0 = highest core index
+	// seen in the trace + 1.
+	Cores int
+	// NodeOfCore maps a core to its NUMA node for track naming. nil = use
+	// the node recorded on each core's first task event.
+	NodeOfCore func(core int) int
+	// Process names the single emitted process track (default "ilan-sim").
+	Process string
+}
+
+// event is one trace-event JSON object. Fields are emitted in the fixed
+// order below; absent optional fields are dropped via omitempty.
+type event struct {
+	Name  string         `json:"name"`
+	Ph    string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Cat   string         `json:"cat,omitempty"`
+	ID    int            `json:"id,omitempty"`
+	BP    string         `json:"bp,omitempty"`
+	S     string         `json:"s,omitempty"`
+	Cname string         `json:"cname,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type doc struct {
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+	TraceEvents     []event `json:"traceEvents"`
+}
+
+const (
+	pid = 1
+	// usec converts virtual seconds to trace-event microseconds.
+	usec = 1e6
+	// cnameStrict / cnameStealable are Chrome trace colors: strict
+	// (NUMA-bound, "yellow") vs stealable ("good" = green).
+	cnameStrict    = "yellow"
+	cnameStealable = "good"
+)
+
+// Write emits the trace as Chrome trace-event JSON. decisions may be nil
+// (no scheduler instant events); the trace must be non-nil.
+func Write(w io.Writer, tr *taskrt.Trace, decisions []obs.Decision, opts Options) error {
+	if tr == nil {
+		return fmt.Errorf("chrometrace: nil trace")
+	}
+	if opts.Process == "" {
+		opts.Process = "ilan-sim"
+	}
+	cores := opts.Cores
+	nodeOf := make(map[int]int)
+	for _, t := range tr.Tasks {
+		if t.Core >= cores {
+			cores = t.Core + 1
+		}
+		if _, ok := nodeOf[t.Core]; !ok {
+			nodeOf[t.Core] = t.Node
+		}
+	}
+	nodeName := func(core int) int {
+		if opts.NodeOfCore != nil {
+			return opts.NodeOfCore(core)
+		}
+		return nodeOf[core] // 0 for cores that never ran a task
+	}
+	schedTid := cores // dedicated track after the last core
+
+	evs := make([]event, 0, 2*len(tr.Tasks)+len(tr.Resources)+cores+8)
+
+	// Metadata: process name, per-core thread names + sort order, and the
+	// scheduler instant-event track.
+	evs = append(evs, event{Name: "process_name", Ph: "M", Pid: pid,
+		Args: map[string]any{"name": opts.Process}})
+	for c := 0; c < cores; c++ {
+		evs = append(evs,
+			event{Name: "thread_name", Ph: "M", Pid: pid, Tid: c,
+				Args: map[string]any{"name": fmt.Sprintf("core %d (node %d)", c, nodeName(c))}},
+			event{Name: "thread_sort_index", Ph: "M", Pid: pid, Tid: c,
+				Args: map[string]any{"sort_index": c}})
+	}
+	evs = append(evs,
+		event{Name: "thread_name", Ph: "M", Pid: pid, Tid: schedTid,
+			Args: map[string]any{"name": "scheduler"}},
+		event{Name: "thread_sort_index", Ph: "M", Pid: pid, Tid: schedTid,
+			Args: map[string]any{"sort_index": schedTid}})
+
+	// Task slices + steal flows. Flow ids are per-steal; the "s" end sits
+	// on the victim's track at the slice start time, the "f" end binds to
+	// the enclosing slice on the thief's track (bp "e").
+	flowID := 0
+	for _, t := range tr.Tasks {
+		cname := cnameStealable
+		if t.Strict {
+			cname = cnameStrict
+		}
+		evs = append(evs, event{
+			Name: t.LoopName, Ph: "X", Cat: "task",
+			Ts: t.StartSec * usec, Dur: (t.EndSec - t.StartSec) * usec,
+			Pid: pid, Tid: t.Core, Cname: cname,
+			Args: map[string]any{
+				"loop": t.LoopID, "exec": t.Exec, "lo": t.Lo, "hi": t.Hi,
+				"stolen": t.Stolen, "remote": t.Remote, "strict": t.Strict,
+				"from": t.FromCore,
+			},
+		})
+		if t.Remote && t.FromCore >= 0 {
+			flowID++
+			evs = append(evs,
+				event{Name: "steal", Ph: "s", Cat: "steal", ID: flowID,
+					Ts: t.StartSec * usec, Pid: pid, Tid: t.FromCore},
+				event{Name: "steal", Ph: "f", Cat: "steal", ID: flowID, BP: "e",
+					Ts: t.StartSec * usec, Pid: pid, Tid: t.Core})
+		}
+	}
+
+	// Scheduler instants: one per phase change and per steal-policy flip,
+	// derived per loop from the decision trace.
+	type loopState struct {
+		phase string
+		full  bool
+		seen  bool
+	}
+	last := make(map[int]loopState)
+	for _, d := range decisions {
+		st := last[d.LoopID]
+		if !st.seen || st.phase != d.Phase {
+			evs = append(evs, event{
+				Name: fmt.Sprintf("loop %d → %s", d.LoopID, d.Phase),
+				Ph:   "i", S: "g", Cat: "scheduler",
+				Ts: d.TimeSec * usec, Pid: pid, Tid: schedTid,
+				Args: map[string]any{"loop": d.LoopID, "k": d.K,
+					"phase": d.Phase, "threads": d.Threads, "stealFull": d.StealFull},
+			})
+		}
+		if st.seen && st.full != d.StealFull {
+			evs = append(evs, event{
+				Name: fmt.Sprintf("loop %d steal→%s", d.LoopID, stealName(d.StealFull)),
+				Ph:   "i", S: "g", Cat: "scheduler",
+				Ts: d.TimeSec * usec, Pid: pid, Tid: schedTid,
+				Args: map[string]any{"loop": d.LoopID, "k": d.K, "stealFull": d.StealFull},
+			})
+		}
+		last[d.LoopID] = loopState{phase: d.Phase, full: d.StealFull, seen: true}
+	}
+
+	// Counter tracks: per-node MC bandwidth (GB/s, from cumulative byte
+	// deltas between successive samples) and instantaneous queue load.
+	lastBytes := make(map[int]taskrt.ResSample)
+	for _, s := range tr.Resources {
+		if prev, ok := lastBytes[s.Node]; ok && s.TimeSec > prev.TimeSec {
+			bw := (s.MCBytes - prev.MCBytes) / (s.TimeSec - prev.TimeSec) / 1e9
+			evs = append(evs, event{
+				Name: fmt.Sprintf("mc bandwidth node %d", s.Node), Ph: "C",
+				Ts: s.TimeSec * usec, Pid: pid, Tid: 0,
+				Args: map[string]any{"GB/s": bw},
+			})
+		}
+		lastBytes[s.Node] = s
+		evs = append(evs, event{
+			Name: fmt.Sprintf("mc queue node %d", s.Node), Ph: "C",
+			Ts: s.TimeSec * usec, Pid: pid, Tid: 0,
+			Args: map[string]any{"load": s.Queue},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc{DisplayTimeUnit: "ms", TraceEvents: evs})
+}
+
+func stealName(full bool) string {
+	if full {
+		return "full"
+	}
+	return "hierarchical"
+}

@@ -1,0 +1,221 @@
+package chrometrace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/ilan-sched/ilan/internal/obs"
+	"github.com/ilan-sched/ilan/internal/taskrt"
+)
+
+// testTrace builds a two-node, four-core trace with one remote steal and
+// per-node resource samples.
+func testTrace() *taskrt.Trace {
+	return &taskrt.Trace{
+		Tasks: []taskrt.TaskEvent{
+			{LoopID: 1, LoopName: "alpha", Exec: 1, Lo: 0, Hi: 8,
+				Core: 0, Node: 0, StartSec: 0.001, EndSec: 0.002,
+				Strict: true, FromCore: -1},
+			{LoopID: 1, LoopName: "alpha", Exec: 1, Lo: 8, Hi: 16,
+				Core: 1, Node: 0, StartSec: 0.001, EndSec: 0.003,
+				Strict: false, FromCore: -1},
+			{LoopID: 1, LoopName: "alpha", Exec: 1, Lo: 16, Hi: 24,
+				Core: 2, Node: 1, StartSec: 0.002, EndSec: 0.004,
+				Stolen: true, Remote: true, FromCore: 0},
+			{LoopID: 1, LoopName: "alpha", Exec: 1, Lo: 24, Hi: 32,
+				Core: 3, Node: 1, StartSec: 0.002, EndSec: 0.0045,
+				Stolen: true, FromCore: 2},
+		},
+		Loops: []taskrt.LoopMark{
+			{LoopID: 1, LoopName: "alpha", Exec: 1, SubmitSec: 0, DoneSec: 0.005, Threads: 4},
+		},
+		Resources: []taskrt.ResSample{
+			{TimeSec: 0.002, Node: 0, MCBytes: 1e6, Queue: 2},
+			{TimeSec: 0.002, Node: 1, MCBytes: 5e5, Queue: 1},
+			{TimeSec: 0.004, Node: 0, MCBytes: 3e6, Queue: 1},
+			{TimeSec: 0.004, Node: 1, MCBytes: 2e6, Queue: 3},
+		},
+	}
+}
+
+func testDecisions() []obs.Decision {
+	return []obs.Decision{
+		{TimeSec: 0.001, LoopID: 1, K: 1, Phase: "explore", Threads: 4},
+		{TimeSec: 0.003, LoopID: 1, K: 2, Phase: "explore", Threads: 4, StealFull: true},
+		{TimeSec: 0.005, LoopID: 1, K: 3, Phase: "settled", Threads: 4, StealFull: true},
+	}
+}
+
+type jsonEvent struct {
+	Name  string         `json:"name"`
+	Ph    string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   float64        `json:"dur"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	ID    int            `json:"id"`
+	BP    string         `json:"bp"`
+	S     string         `json:"s"`
+	Cname string         `json:"cname"`
+	Args  map[string]any `json:"args"`
+}
+
+func render(t *testing.T, tr *taskrt.Trace, ds []obs.Decision, opts Options) []jsonEvent {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr, ds, opts); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string      `json:"displayTimeUnit"`
+		TraceEvents     []jsonEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	return doc.TraceEvents
+}
+
+func TestWriteTracksAndSlices(t *testing.T) {
+	evs := render(t, testTrace(), nil, Options{})
+
+	slicesPerCore := map[int]int{}
+	threadNames := map[int]string{}
+	for _, e := range evs {
+		if e.Ph == "X" {
+			slicesPerCore[e.Tid]++
+		}
+		if e.Ph == "M" && e.Name == "thread_name" {
+			threadNames[e.Tid], _ = e.Args["name"].(string)
+		}
+	}
+	for core := 0; core < 4; core++ {
+		if slicesPerCore[core] < 1 {
+			t.Fatalf("core %d has no slice track", core)
+		}
+		if threadNames[core] == "" {
+			t.Fatalf("core %d has no thread_name metadata", core)
+		}
+	}
+	if threadNames[2] != "core 2 (node 1)" {
+		t.Fatalf("core 2 track name = %q", threadNames[2])
+	}
+	// Strict tasks are yellow, stealable green.
+	for _, e := range evs {
+		if e.Ph != "X" {
+			continue
+		}
+		strict, _ := e.Args["strict"].(bool)
+		want := cnameStealable
+		if strict {
+			want = cnameStrict
+		}
+		if e.Cname != want {
+			t.Fatalf("slice on core %d: cname = %q, want %q (strict=%v)", e.Tid, e.Cname, want, strict)
+		}
+	}
+}
+
+func TestWriteStealFlows(t *testing.T) {
+	evs := render(t, testTrace(), nil, Options{})
+	var starts, finishes []jsonEvent
+	for _, e := range evs {
+		switch {
+		case e.Ph == "s":
+			starts = append(starts, e)
+		case e.Ph == "f":
+			finishes = append(finishes, e)
+		}
+	}
+	// Exactly one remote steal in the trace (core 0 -> core 2); the local
+	// steal (core 2 -> core 3) draws no arrow.
+	if len(starts) != 1 || len(finishes) != 1 {
+		t.Fatalf("flow events = %d starts, %d finishes, want 1 each", len(starts), len(finishes))
+	}
+	if starts[0].Tid != 0 || finishes[0].Tid != 2 {
+		t.Fatalf("flow from tid %d to tid %d, want 0 -> 2", starts[0].Tid, finishes[0].Tid)
+	}
+	if starts[0].ID != finishes[0].ID {
+		t.Fatalf("flow ids differ: %d vs %d", starts[0].ID, finishes[0].ID)
+	}
+	if finishes[0].BP != "e" {
+		t.Fatalf("flow finish bp = %q, want \"e\" (bind to enclosing slice)", finishes[0].BP)
+	}
+}
+
+func TestWriteSchedulerInstants(t *testing.T) {
+	evs := render(t, testTrace(), testDecisions(), Options{})
+	var instants []jsonEvent
+	for _, e := range evs {
+		if e.Ph == "i" {
+			instants = append(instants, e)
+		}
+	}
+	// First decision, steal-policy flip at k=2, phase change at k=3.
+	if len(instants) != 3 {
+		t.Fatalf("instant events = %d, want 3: %+v", len(instants), instants)
+	}
+	for _, e := range instants {
+		if e.S != "g" {
+			t.Fatalf("instant scope = %q, want global", e.S)
+		}
+		if e.Tid != 4 { // scheduler track sits after cores 0..3
+			t.Fatalf("instant on tid %d, want scheduler track 4", e.Tid)
+		}
+	}
+}
+
+func TestWriteCounterTracks(t *testing.T) {
+	evs := render(t, testTrace(), nil, Options{})
+	bw := map[string]int{}
+	queue := map[string]int{}
+	var gbps float64
+	for _, e := range evs {
+		if e.Ph != "C" {
+			continue
+		}
+		switch e.Name {
+		case "mc bandwidth node 0":
+			bw[e.Name]++
+			gbps, _ = e.Args["GB/s"].(float64)
+		case "mc bandwidth node 1":
+			bw[e.Name]++
+		case "mc queue node 0", "mc queue node 1":
+			queue[e.Name]++
+		}
+	}
+	if len(bw) != 2 {
+		t.Fatalf("bandwidth counter tracks = %v, want both nodes", bw)
+	}
+	if len(queue) != 2 || queue["mc queue node 0"] != 2 {
+		t.Fatalf("queue counter tracks = %v", queue)
+	}
+	// Node 0: (3e6 - 1e6) bytes over 2 ms = 1e9 B/s = 1 GB/s.
+	if gbps < 0.999 || gbps > 1.001 {
+		t.Fatalf("node 0 bandwidth = %g GB/s, want 1", gbps)
+	}
+}
+
+func TestWriteRejectsNilTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil, nil, Options{}); err == nil {
+		t.Fatal("nil trace accepted")
+	}
+}
+
+func TestWriteTimestampsMicroseconds(t *testing.T) {
+	evs := render(t, testTrace(), nil, Options{})
+	for _, e := range evs {
+		if e.Ph == "X" && e.Tid == 0 {
+			if e.Ts != 1000 || e.Dur != 1000 {
+				t.Fatalf("core 0 slice ts/dur = %g/%g us, want 1000/1000", e.Ts, e.Dur)
+			}
+			return
+		}
+	}
+	t.Fatal("core 0 slice not found")
+}

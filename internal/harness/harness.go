@@ -124,6 +124,17 @@ type Config struct {
 	TraceDecisions bool
 	// DecisionCap sizes the decision ring (0 = obs.DefaultRingCap).
 	DecisionCap int
+	// TraceTasks records the full task-event trace of repetition 0 of every
+	// cell (one traced rep keeps the cost bounded; rep 0 runs identically
+	// for any Jobs setting, so the trace is deterministic). The trace feeds
+	// the Perfetto export (internal/chrometrace) and rides along in the
+	// results file.
+	TraceTasks bool
+	// Track, when non-nil, receives live campaign progress: per-cell rep
+	// counts, per-rep observability snapshots, and completion events. The
+	// tracker is read-only telemetry — attaching one changes no campaign
+	// output byte (see progress.go).
+	Track *Tracker
 }
 
 // obsEnabled reports whether runs should carry an obs collector.
@@ -159,6 +170,9 @@ type RunSample struct {
 	// Obs is the run's observability snapshot (nil unless Config.Metrics
 	// or Config.TraceDecisions is set).
 	Obs *obs.Snapshot
+	// Trace is the run's task-event trace (nil unless Config.TraceTasks is
+	// set and this is repetition 0).
+	Trace *taskrt.Trace
 }
 
 // Cell aggregates all repetitions of one (benchmark, scheduler) pair.
@@ -184,6 +198,15 @@ func (c *Cell) Overheads() []float64 {
 		out[i] = s.OverheadSec
 	}
 	return out
+}
+
+// TaskTrace returns the cell's recorded task-event trace (repetition 0),
+// or nil when the campaign ran without Config.TraceTasks.
+func (c *Cell) TaskTrace() *taskrt.Trace {
+	if len(c.Samples) == 0 {
+		return nil
+	}
+	return c.Samples[0].Trace
 }
 
 // MergedObs merges the samples' observability snapshots in repetition
@@ -250,6 +273,10 @@ func RunOne(b workloads.Benchmark, k Kind, cfg Config, rep int) (RunSample, erro
 		run = obs.NewRun(obs.Options{TraceDecisions: cfg.TraceDecisions, RingCap: cfg.DecisionCap})
 		rt.SetObs(run)
 	}
+	var trace *taskrt.Trace
+	if cfg.TraceTasks && rep == 0 {
+		trace = rt.EnableTracing()
+	}
 	res, err := rt.RunProgram(prog)
 	if err != nil {
 		return RunSample{}, fmt.Errorf("harness: %s/%s rep %d: %w", b.Name, k, rep, err)
@@ -270,21 +297,26 @@ func RunOne(b workloads.Benchmark, k Kind, cfg Config, rep int) (RunSample, erro
 		StealsRemote:    res.StealsRemote,
 		Tasks:           res.TasksExecuted,
 		Obs:             snap,
+		Trace:           trace,
 	}, nil
 }
 
 // RunCell executes all repetitions of one (benchmark, kind) pair,
 // fanning them across cfg.Jobs workers. Samples stay in repetition order.
 func RunCell(b workloads.Benchmark, k Kind, cfg Config) (*Cell, error) {
+	cfg.Track.Begin(b.Name+"/"+k.String(),
+		[]CellDecl{{Name: b.Name + "/" + k.String(), Units: cfg.Reps}})
 	c := &Cell{Bench: b.Name, Kind: k, Samples: make([]RunSample, cfg.Reps)}
 	err := ForEach(cfg.Jobs, cfg.Reps, func(rep int) error {
 		s, err := RunOne(b, k, cfg, rep)
+		cfg.Track.UnitDone(0, rep, s.Obs, err)
 		if err != nil {
 			return err
 		}
 		c.Samples[rep] = s
 		return nil
 	})
+	cfg.Track.Finish(err)
 	if err != nil {
 		return nil, err
 	}
@@ -310,8 +342,10 @@ func Run(benches []workloads.Benchmark, kinds []Kind, cfg Config,
 		kind  Kind
 		rep   int
 		cell  *Cell
+		track int // tracker cell index
 	}
 	var units []unit
+	var decls []CellDecl
 	for _, b := range benches {
 		mx.Benches = append(mx.Benches, b.Name)
 		mx.cells[b.Name] = make(map[Kind]*Cell)
@@ -321,20 +355,25 @@ func Run(benches []workloads.Benchmark, kinds []Kind, cfg Config,
 			}
 			cell := &Cell{Bench: b.Name, Kind: k, Samples: make([]RunSample, cfg.Reps)}
 			mx.cells[b.Name][k] = cell
+			ti := len(decls)
+			decls = append(decls, CellDecl{Name: b.Name + "/" + k.String(), Units: cfg.Reps})
 			for rep := 0; rep < cfg.Reps; rep++ {
-				units = append(units, unit{bench: b, kind: k, rep: rep, cell: cell})
+				units = append(units, unit{bench: b, kind: k, rep: rep, cell: cell, track: ti})
 			}
 		}
 	}
+	cfg.Track.Begin("campaign", decls)
 	err := ForEach(cfg.Jobs, len(units), func(i int) error {
 		u := units[i]
 		s, err := RunOne(u.bench, u.kind, cfg, u.rep)
+		cfg.Track.UnitDone(u.track, u.rep, s.Obs, err)
 		if err != nil {
 			return err
 		}
 		u.cell.Samples[u.rep] = s
 		return nil
 	})
+	cfg.Track.Finish(err)
 	if err != nil {
 		return nil, err
 	}

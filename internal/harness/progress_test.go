@@ -1,0 +1,239 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/ilan-sched/ilan/internal/machine"
+	"github.com/ilan-sched/ilan/internal/obs"
+	"github.com/ilan-sched/ilan/internal/taskrt"
+	"github.com/ilan-sched/ilan/internal/workloads"
+)
+
+func TestTrackerNilSafe(t *testing.T) {
+	var tr *Tracker
+	tr.Begin("x", []CellDecl{{Name: "a", Units: 1}})
+	tr.UnitDone(0, 0, nil, nil)
+	tr.Finish(nil)
+	if s := tr.Snapshot(); s.UnitsTotal != 0 || s.ETASec != -1 {
+		t.Fatalf("nil tracker snapshot = %+v", s)
+	}
+	if tr.MergedObs() != nil {
+		t.Fatal("nil tracker returned a merged snapshot")
+	}
+	ch, cancel := tr.Subscribe()
+	cancel()
+	if _, open := <-ch; open {
+		t.Fatal("nil tracker subscription channel not closed")
+	}
+}
+
+func TestTrackerSnapshotAndCells(t *testing.T) {
+	tr := NewTracker()
+	tr.Begin("campaign", []CellDecl{
+		{Name: "CG/baseline", Units: 2},
+		{Name: "CG/ilan", Units: 2},
+	})
+	s := tr.Snapshot()
+	if s.UnitsTotal != 4 || s.UnitsDone != 0 || s.CellsTotal != 2 || s.CellsDone != 0 {
+		t.Fatalf("initial snapshot = %+v", s)
+	}
+	if s.ETASec != -1 {
+		t.Fatalf("ETA before any unit = %g, want -1", s.ETASec)
+	}
+	tr.UnitDone(0, 0, nil, nil)
+	tr.UnitDone(0, 1, nil, nil)
+	tr.UnitDone(1, 0, nil, nil)
+	s = tr.Snapshot()
+	if s.UnitsDone != 3 || s.CellsDone != 1 {
+		t.Fatalf("mid snapshot = %+v", s)
+	}
+	if s.Cells[0].RepsDone != 2 || s.Cells[1].RepsDone != 1 {
+		t.Fatalf("cell counts = %+v", s.Cells)
+	}
+	if s.ETASec < 0 {
+		t.Fatalf("ETA with units done = %g, want >= 0", s.ETASec)
+	}
+	tr.UnitDone(1, 1, nil, nil)
+	tr.Finish(nil)
+	s = tr.Snapshot()
+	if !s.Finished || s.CellsDone != 2 || s.UnitsDone != 4 || s.ETASec != 0 {
+		t.Fatalf("final snapshot = %+v", s)
+	}
+}
+
+func TestTrackerMergedObsMonotone(t *testing.T) {
+	mkSnap := func(v float64) *obs.Snapshot {
+		run := obs.NewRun(obs.Options{})
+		run.Scope("taskrt").Counter("steals_local_total").Add(v)
+		return run.Snapshot()
+	}
+	tr := NewTracker()
+	tr.Begin("c", []CellDecl{{Name: "a", Units: 3}})
+	if tr.MergedObs() != nil {
+		t.Fatal("merged snapshot before any rep")
+	}
+	prev := 0.0
+	for i, v := range []float64{3, 5, 7} {
+		tr.UnitDone(0, i, mkSnap(v), nil)
+		m := tr.MergedObs()
+		got := m.Counters["taskrt_steals_local_total"]
+		if got < prev {
+			t.Fatalf("merged counter regressed: %g -> %g", prev, got)
+		}
+		prev = got
+	}
+	if prev != 15 {
+		t.Fatalf("merged counter = %g, want 15", prev)
+	}
+}
+
+func TestTrackerEvents(t *testing.T) {
+	tr := NewTracker()
+	ch, cancel := tr.Subscribe()
+	defer cancel()
+	tr.Begin("c", []CellDecl{{Name: "a", Units: 1}})
+
+	run := obs.NewRun(obs.Options{TraceDecisions: true, RingCap: 8})
+	run.Decisions().Record(obs.Decision{LoopID: 1, K: 1, Phase: "explore", Threads: 4})
+	run.Decisions().Record(obs.Decision{LoopID: 1, K: 2, Phase: "explore", Threads: 8})
+	run.Decisions().Record(obs.Decision{LoopID: 1, K: 3, Phase: "settled", Threads: 8})
+	tr.UnitDone(0, 0, run.Snapshot(), nil)
+	tr.Finish(nil)
+
+	var types []string
+	for len(types) < 4 {
+		select {
+		case ev := <-ch:
+			types = append(types, ev.Type)
+		case <-time.After(time.Second):
+			t.Fatalf("timed out; events so far: %v", types)
+		}
+	}
+	joined := strings.Join(types, ",")
+	// Two phase events (first decision + explore->settled), the cell
+	// completion, then the terminal event.
+	if joined != "phase,phase,cell,done" {
+		t.Fatalf("event sequence = %s", joined)
+	}
+}
+
+// panicBench is a benchmark whose Build panics on selected invocations —
+// the pool's recovery path under a realistic campaign.
+func panicBench(t *testing.T, panicOn func(n int64) bool) workloads.Benchmark {
+	t.Helper()
+	base, ok := workloads.ByName("Matmul")
+	if !ok {
+		t.Fatal("Matmul benchmark missing")
+	}
+	var calls atomic.Int64
+	return workloads.Benchmark{
+		Name: "Panicky",
+		Build: func(m *machine.Machine, cls workloads.Class) *taskrt.Program {
+			if panicOn(calls.Add(1)) {
+				panic("injected benchmark failure")
+			}
+			return base.Build(m, cls)
+		},
+	}
+}
+
+// TestSweepProgressReachesTotalOnPanic is the -jobs > 1 accounting
+// contract: a sampler watching the tracker during a sweep whose reps
+// panic must see monotone counts that still reach the total once the
+// campaign aborts, with the failure reported via Err/UnitsFailed rather
+// than a stuck counter.
+func TestSweepProgressReachesTotalOnPanic(t *testing.T) {
+	bench := panicBench(t, func(n int64) bool { return n == 3 })
+	cfg := testConfig()
+	cfg.Jobs = 4
+	tr := NewTracker()
+	cfg.Track = tr
+
+	stop := make(chan struct{})
+	sampled := make(chan error, 1)
+	go func() {
+		defer close(sampled)
+		var prevDone int64
+		prevCells := make(map[string]int)
+		for {
+			s := tr.Snapshot()
+			if s.UnitsDone < prevDone {
+				sampled <- fmt.Errorf("units_done regressed: %d -> %d", prevDone, s.UnitsDone)
+				return
+			}
+			prevDone = s.UnitsDone
+			for _, c := range s.Cells {
+				if c.RepsDone < prevCells[c.Name] {
+					sampled <- fmt.Errorf("cell %s reps regressed: %d -> %d",
+						c.Name, prevCells[c.Name], c.RepsDone)
+					return
+				}
+				prevCells[c.Name] = c.RepsDone
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+
+	_, err := Sweep(bench, SweepBeta, []float64{0, 0.003}, cfg, nil)
+	close(stop)
+	if serr := <-sampled; serr != nil {
+		t.Fatal(serr)
+	}
+	if err == nil {
+		t.Fatal("sweep with a panicking rep returned no error")
+	}
+	if !strings.Contains(err.Error(), "injected benchmark failure") {
+		t.Fatalf("error does not carry the panic: %v", err)
+	}
+
+	s := tr.Snapshot()
+	if !s.Finished {
+		t.Fatal("tracker not finished after sweep returned")
+	}
+	if s.UnitsDone != s.UnitsTotal {
+		t.Fatalf("units_done = %d, want total %d even after abort", s.UnitsDone, s.UnitsTotal)
+	}
+	if s.CellsDone != s.CellsTotal {
+		t.Fatalf("cells_done = %d, want total %d even after abort", s.CellsDone, s.CellsTotal)
+	}
+	if s.UnitsFailed == 0 {
+		t.Fatal("no failed units recorded")
+	}
+	if s.Err == "" {
+		t.Fatal("tracker error message empty after failed campaign")
+	}
+}
+
+// TestRunProgressParallel drives a real (non-failing) campaign under
+// Jobs > 1 and checks the terminal accounting plus per-cell totals.
+func TestRunProgressParallel(t *testing.T) {
+	benches := []workloads.Benchmark{mustBench(t, "Matmul")}
+	cfg := testConfig()
+	cfg.Jobs = 4
+	cfg.Reps = 3
+	tr := NewTracker()
+	cfg.Track = tr
+	if _, err := Run(benches, []Kind{KindBaseline, KindILAN}, cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Snapshot()
+	if !s.Finished || s.Err != "" || s.UnitsFailed != 0 {
+		t.Fatalf("terminal snapshot = %+v", s)
+	}
+	if s.UnitsTotal != 6 || s.UnitsDone != 6 || s.CellsDone != 2 {
+		t.Fatalf("accounting = %+v", s)
+	}
+	for _, c := range s.Cells {
+		if c.RepsDone != 3 || c.RepsTotal != 3 {
+			t.Fatalf("cell %s counts = %d/%d", c.Name, c.RepsDone, c.RepsTotal)
+		}
+	}
+}

@@ -84,6 +84,7 @@ func Sweep(bench workloads.Benchmark, param SweepParam, values []float64,
 	kinds := [2]Kind{KindBaseline, KindILAN}
 	cfgs := make([]Config, len(values))
 	cells := make([][2]*Cell, len(values))
+	decls := make([]CellDecl, 0, len(values)*len(kinds))
 	for vi, v := range values {
 		if progress != nil {
 			progress(v)
@@ -96,19 +97,26 @@ func Sweep(bench workloads.Benchmark, param SweepParam, values []float64,
 		for ki, k := range kinds {
 			cells[vi][ki] = &Cell{Bench: bench.Name, Kind: k,
 				Samples: make([]RunSample, cfg.Reps)}
+			decls = append(decls, CellDecl{
+				Name:  fmt.Sprintf("%s/%s %s=%g", bench.Name, k, param, v),
+				Units: cfg.Reps,
+			})
 		}
 	}
+	cfg.Track.Begin(fmt.Sprintf("sweep %s %s", bench.Name, param), decls)
 	perValue := len(kinds) * cfg.Reps
 	err := ForEach(cfg.Jobs, len(values)*perValue, func(i int) error {
 		vi, rest := i/perValue, i%perValue
 		ki, rep := rest/cfg.Reps, rest%cfg.Reps
 		s, err := RunOne(bench, kinds[ki], cfgs[vi], rep)
+		cfg.Track.UnitDone(vi*len(kinds)+ki, rep, s.Obs, err)
 		if err != nil {
 			return err
 		}
 		cells[vi][ki].Samples[rep] = s
 		return nil
 	})
+	cfg.Track.Finish(err)
 	if err != nil {
 		return nil, err
 	}

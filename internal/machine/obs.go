@@ -31,6 +31,20 @@ func (m *Machine) obsAccumLoad(r int) {
 	}
 }
 
+// ControllerBytes reports the cumulative service demand (bytes) placed on
+// a node's memory controller so far. It is a monotone counter sampled by
+// trace exporters to derive per-node bandwidth time series.
+func (m *Machine) ControllerBytes(node int) float64 {
+	return m.counters.ResourceBytes[int(m.res.Controller(node))]
+}
+
+// ControllerLoad reports the instantaneous queue-pressure load on a node's
+// memory controller — the same quantity whose time integral feeds the
+// mc_queue_depth gauge.
+func (m *Machine) ControllerLoad(node int) float64 {
+	return m.load[int(m.res.Controller(node))]
+}
+
 // FillObs samples the machine's end-of-run state into the registry (pull,
 // not push: nothing here runs on the simulation hot path). Exported
 // metrics, per DESIGN.md §9:

@@ -94,6 +94,58 @@ func TestRingWraps(t *testing.T) {
 	}
 }
 
+// TestRingOrderAcrossWraps pins the oldest-first contract through every
+// fill level and wrap count: after n records into a capacity-c ring,
+// Decisions() must be exactly the last min(n, c) records in recording
+// order, wherever the internal write cursor happens to sit.
+func TestRingOrderAcrossWraps(t *testing.T) {
+	for _, capacity := range []int{1, 2, 3, 7} {
+		r := NewRing(capacity)
+		for n := 1; n <= 4*capacity+1; n++ {
+			r.Record(Decision{K: n})
+			ds := r.Decisions()
+			want := n
+			if want > capacity {
+				want = capacity
+			}
+			if len(ds) != want {
+				t.Fatalf("cap %d after %d records: retained %d, want %d", capacity, n, len(ds), want)
+			}
+			for i, d := range ds {
+				if exp := n - want + 1 + i; d.K != exp {
+					t.Fatalf("cap %d after %d records: decisions[%d].K = %d, want %d",
+						capacity, n, i, d.K, exp)
+				}
+			}
+			if r.Total() != uint64(n) {
+				t.Fatalf("cap %d: total = %d, want %d", capacity, r.Total(), n)
+			}
+		}
+	}
+}
+
+// TestSnapshotAfterWrap checks the ordering survives into Run.Snapshot,
+// the path obsdump's decisions format actually reads.
+func TestSnapshotAfterWrap(t *testing.T) {
+	run := NewRun(Options{TraceDecisions: true, RingCap: 4})
+	for n := 1; n <= 11; n++ {
+		run.Decisions().Record(Decision{K: n})
+	}
+	s := run.Snapshot()
+	if s.DecisionsTotal != 11 {
+		t.Fatalf("DecisionsTotal = %d, want 11", s.DecisionsTotal)
+	}
+	if len(s.Decisions) != 4 {
+		t.Fatalf("retained %d decisions, want 4", len(s.Decisions))
+	}
+	for i, want := range []int{8, 9, 10, 11} {
+		if s.Decisions[i].K != want {
+			t.Fatalf("snapshot decisions[%d].K = %d, want %d (oldest-first after wrap)",
+				i, s.Decisions[i].K, want)
+		}
+	}
+}
+
 func TestSnapshotAndMerge(t *testing.T) {
 	mkRun := func(c float64, g float64, rep int) *Snapshot {
 		run := NewRun(Options{TraceDecisions: true, RingCap: 8})

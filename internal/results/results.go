@@ -14,6 +14,7 @@ import (
 	"github.com/ilan-sched/ilan/internal/harness"
 	"github.com/ilan-sched/ilan/internal/obs"
 	"github.com/ilan-sched/ilan/internal/stats"
+	"github.com/ilan-sched/ilan/internal/taskrt"
 )
 
 // FormatVersion identifies the file schema.
@@ -41,6 +42,10 @@ type Cell struct {
 	// decision trace concatenated in repetition order. Present only when
 	// the campaign ran with metrics enabled.
 	Obs *obs.Snapshot `json:"obs,omitempty"`
+	// Trace is repetition 0's full task-event trace (deterministic for a
+	// given seed regardless of Jobs). Present only when the campaign ran
+	// with task tracing enabled; obsdump's perfetto exporter reads it.
+	Trace *taskrt.Trace `json:"trace,omitempty"`
 }
 
 // MeanTime returns the cell's mean elapsed seconds.
@@ -56,7 +61,8 @@ func FromMatrix(mx *harness.Matrix, cfg harness.Config, label string) *File {
 		Class:   cfg.Class.String(),
 	}
 	mx.EachCell(func(c *harness.Cell) {
-		cell := Cell{Bench: c.Bench, Kind: c.Kind.String(), Obs: c.MergedObs()}
+		cell := Cell{Bench: c.Bench, Kind: c.Kind.String(), Obs: c.MergedObs(),
+			Trace: c.TaskTrace()}
 		for _, s := range c.Samples {
 			cell.Times = append(cell.Times, s.ElapsedSec)
 			cell.Overheads = append(cell.Overheads, s.OverheadSec)
@@ -198,6 +204,136 @@ func Compare(a, b *File, tol float64) []Diff {
 		check("time", stats.Mean(ca.Times), stats.Mean(cb.Times))
 		check("overhead", stats.Mean(ca.Overheads), stats.Mean(cb.Overheads))
 		check("threads", stats.Mean(ca.WeightedThreads), stats.Mean(cb.WeightedThreads))
+	}
+	return diffs
+}
+
+// ObsDiff is one telemetry-level discrepancy between two campaigns' merged
+// observability snapshots.
+type ObsDiff struct {
+	Bench  string
+	Kind   string
+	Metric string
+	// Old and New are the compared values; Rel the relative change (0 when
+	// the metric exists on one side only).
+	Old, New, Rel float64
+	// Kind of discrepancy: "drift" (value moved beyond tolerance),
+	// "missing" (metric present only in the old file), "new" (metric
+	// present only in the new file), or "no-obs" (one cell has no snapshot
+	// at all).
+	What string
+}
+
+// String renders the obs diff on one line.
+func (d ObsDiff) String() string {
+	switch d.What {
+	case "missing":
+		return fmt.Sprintf("%-8s %-14s obs metric %s missing from new file", d.Bench, d.Kind, d.Metric)
+	case "new":
+		return fmt.Sprintf("%-8s %-14s obs metric %s new in new file", d.Bench, d.Kind, d.Metric)
+	case "no-obs":
+		return fmt.Sprintf("%-8s %-14s obs snapshot present in only one file", d.Bench, d.Kind)
+	default:
+		return fmt.Sprintf("%-8s %-14s obs %s %12.6g -> %12.6g (%+.2f%%)",
+			d.Bench, d.Kind, d.Metric, d.Old, d.New, 100*d.Rel)
+	}
+}
+
+// CompareObs diffs per-cell merged observability snapshots: counter and
+// histogram-count values that moved by more than tol (relative), plus
+// metric names present on only one side. Gauges are compared by name only
+// (their values are per-run averages and legitimately move with timing
+// calibration); counters are the regression surface — a silently vanished
+// steal counter or a doubled phase-transition count fails the gate even
+// when wall-clock times agree. Cells missing a snapshot on exactly one
+// side are reported; cells with no snapshot on either side are skipped
+// (campaign ran without metrics).
+func CompareObs(a, b *File, tol float64) []ObsDiff {
+	index := func(f *File) map[string]*Cell {
+		m := map[string]*Cell{}
+		for i := range f.Cells {
+			m[f.Cells[i].Bench+"/"+f.Cells[i].Kind] = &f.Cells[i]
+		}
+		return m
+	}
+	ia, ib := index(a), index(b)
+	keys := make([]string, 0, len(ia))
+	for k := range ia {
+		if ib[k] != nil {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+
+	var diffs []ObsDiff
+	for _, k := range keys {
+		ca, cb := ia[k], ib[k]
+		if ca.Obs == nil && cb.Obs == nil {
+			continue
+		}
+		if ca.Obs == nil || cb.Obs == nil {
+			diffs = append(diffs, ObsDiff{Bench: ca.Bench, Kind: ca.Kind, What: "no-obs"})
+			continue
+		}
+		oldVals := map[string]float64{}
+		newVals := map[string]float64{}
+		for name, v := range ca.Obs.Counters {
+			oldVals[name] = v
+		}
+		for name, v := range cb.Obs.Counters {
+			newVals[name] = v
+		}
+		for name, h := range ca.Obs.Histograms {
+			oldVals[name+"_count"] = float64(h.Count)
+		}
+		for name, h := range cb.Obs.Histograms {
+			newVals[name+"_count"] = float64(h.Count)
+		}
+		// Gauges participate in the name universe only (see doc comment).
+		for name := range ca.Obs.Gauges {
+			if _, ok := cb.Obs.Gauges[name]; !ok {
+				diffs = append(diffs, ObsDiff{Bench: ca.Bench, Kind: ca.Kind,
+					Metric: name, What: "missing"})
+			}
+		}
+		for name := range cb.Obs.Gauges {
+			if _, ok := ca.Obs.Gauges[name]; !ok {
+				diffs = append(diffs, ObsDiff{Bench: ca.Bench, Kind: ca.Kind,
+					Metric: name, What: "new"})
+			}
+		}
+		names := make([]string, 0, len(oldVals)+len(newVals))
+		for name := range oldVals {
+			names = append(names, name)
+		}
+		for name := range newVals {
+			if _, ok := oldVals[name]; !ok {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			oldV, inOld := oldVals[name]
+			newV, inNew := newVals[name]
+			switch {
+			case !inNew:
+				diffs = append(diffs, ObsDiff{Bench: ca.Bench, Kind: ca.Kind,
+					Metric: name, Old: oldV, What: "missing"})
+			case !inOld:
+				diffs = append(diffs, ObsDiff{Bench: ca.Bench, Kind: ca.Kind,
+					Metric: name, New: newV, What: "new"})
+			default:
+				if oldV == 0 && newV == 0 {
+					continue
+				}
+				rel := math.Abs(newV-oldV) / math.Max(math.Abs(oldV), 1e-300)
+				if rel > tol {
+					diffs = append(diffs, ObsDiff{Bench: ca.Bench, Kind: ca.Kind,
+						Metric: name, Old: oldV, New: newV,
+						Rel: (newV - oldV) / math.Max(math.Abs(oldV), 1e-300), What: "drift"})
+				}
+			}
+		}
 	}
 	return diffs
 }

@@ -7,6 +7,7 @@ import (
 
 	"github.com/ilan-sched/ilan/internal/harness"
 	"github.com/ilan-sched/ilan/internal/machine"
+	"github.com/ilan-sched/ilan/internal/obs"
 	"github.com/ilan-sched/ilan/internal/topology"
 	"github.com/ilan-sched/ilan/internal/workloads"
 )
@@ -109,6 +110,134 @@ func TestCompareMissingCell(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("missing cell not reported")
+	}
+}
+
+// obsFile builds a one-cell file whose obs snapshot carries the given
+// counters, gauge names, and histogram counts.
+func obsFile(counters map[string]float64, gauges []string, hists map[string]uint64) *File {
+	snap := &obs.Snapshot{Runs: 1, Counters: map[string]float64{}, Gauges: map[string]float64{}}
+	for k, v := range counters {
+		snap.Counters[k] = v
+	}
+	for _, g := range gauges {
+		snap.Gauges[g] = 1
+	}
+	if len(hists) > 0 {
+		snap.Histograms = map[string]obs.HistSnapshot{}
+		for k, n := range hists {
+			snap.Histograms[k] = obs.HistSnapshot{Count: n}
+		}
+	}
+	return &File{Version: FormatVersion, Cells: []Cell{
+		{Bench: "CG", Kind: "ilan", Times: []float64{1}, Obs: snap},
+	}}
+}
+
+func TestCompareObsIdentical(t *testing.T) {
+	a := obsFile(map[string]float64{"taskrt_steals_local_total": 10}, []string{"g"}, map[string]uint64{"h": 4})
+	b := obsFile(map[string]float64{"taskrt_steals_local_total": 10}, []string{"g"}, map[string]uint64{"h": 4})
+	if d := CompareObs(a, b, 0); len(d) != 0 {
+		t.Fatalf("identical snapshots diffed: %v", d)
+	}
+}
+
+func TestCompareObsCounterDrift(t *testing.T) {
+	a := obsFile(map[string]float64{"taskrt_steals_local_total": 100}, nil, nil)
+	b := obsFile(map[string]float64{"taskrt_steals_local_total": 150}, nil, nil)
+	d := CompareObs(a, b, 0.1)
+	if len(d) != 1 || d[0].What != "drift" || d[0].Metric != "taskrt_steals_local_total" {
+		t.Fatalf("diffs = %v", d)
+	}
+	if d[0].Rel < 0.49 || d[0].Rel > 0.51 {
+		t.Fatalf("relative drift = %g, want 0.5", d[0].Rel)
+	}
+	// Within tolerance: suppressed.
+	if d := CompareObs(a, b, 0.6); len(d) != 0 {
+		t.Fatalf("tolerated drift still reported: %v", d)
+	}
+}
+
+func TestCompareObsMissingAndNewMetrics(t *testing.T) {
+	a := obsFile(map[string]float64{"old_only": 1, "both": 2}, []string{"gauge_old"}, nil)
+	b := obsFile(map[string]float64{"new_only": 1, "both": 2}, []string{"gauge_new"}, nil)
+	d := CompareObs(a, b, 0)
+	kinds := map[string]string{}
+	for _, x := range d {
+		kinds[x.Metric] = x.What
+	}
+	want := map[string]string{
+		"old_only": "missing", "new_only": "new",
+		"gauge_old": "missing", "gauge_new": "new",
+	}
+	for m, k := range want {
+		if kinds[m] != k {
+			t.Fatalf("metric %s: got %q, want %q (all: %v)", m, kinds[m], k, d)
+		}
+	}
+	if len(d) != len(want) {
+		t.Fatalf("diffs = %v, want %d entries", d, len(want))
+	}
+}
+
+func TestCompareObsHistogramCount(t *testing.T) {
+	a := obsFile(nil, nil, map[string]uint64{"taskrt_loop_elapsed_sec": 8})
+	b := obsFile(nil, nil, map[string]uint64{"taskrt_loop_elapsed_sec": 4})
+	d := CompareObs(a, b, 0)
+	if len(d) != 1 || d[0].What != "drift" || d[0].Metric != "taskrt_loop_elapsed_sec_count" {
+		t.Fatalf("diffs = %v", d)
+	}
+}
+
+func TestCompareObsSnapshotPresence(t *testing.T) {
+	withObs := obsFile(map[string]float64{"c": 1}, nil, nil)
+	without := &File{Version: FormatVersion, Cells: []Cell{
+		{Bench: "CG", Kind: "ilan", Times: []float64{1}},
+	}}
+	d := CompareObs(withObs, without, 0)
+	if len(d) != 1 || d[0].What != "no-obs" {
+		t.Fatalf("diffs = %v", d)
+	}
+	// Neither side has obs: nothing to gate on.
+	if d := CompareObs(without, without, 0); len(d) != 0 {
+		t.Fatalf("obs-less cells diffed: %v", d)
+	}
+}
+
+func TestCompareObsRealCampaign(t *testing.T) {
+	mk := func() *File {
+		cfg := harness.Config{
+			Class: workloads.ClassTest, Reps: 2, Seed: 3,
+			Noise: machine.NoiseConfig{}, Topo: topology.SmallTest(),
+			Metrics: true,
+		}
+		b, _ := workloads.ByName("Matmul")
+		mx, err := harness.Run([]workloads.Benchmark{b},
+			[]harness.Kind{harness.KindILAN}, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FromMatrix(mx, cfg, "")
+	}
+	a, b := mk(), mk()
+	if d := CompareObs(a, b, 0); len(d) != 0 {
+		t.Fatalf("identical campaigns obs-diffed: %v", d)
+	}
+	// Inject a counter regression and expect the gate to fire. The
+	// perturbed counter must be nonzero (doubling 0 shows no drift).
+	injected := false
+	for k, v := range b.Cells[0].Obs.Counters {
+		if v != 0 {
+			b.Cells[0].Obs.Counters[k] *= 2
+			injected = true
+			break
+		}
+	}
+	if !injected {
+		t.Fatal("campaign produced no nonzero counters to perturb")
+	}
+	if d := CompareObs(a, b, 0.05); len(d) == 0 {
+		t.Fatal("injected counter regression not flagged")
 	}
 }
 

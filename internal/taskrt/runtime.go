@@ -100,6 +100,7 @@ type thread struct {
 	curTask   *Task
 	curStolen bool
 	curRemote bool
+	curFrom   int // victim core of a stolen task, -1 otherwise
 	curStart  sim.Time
 
 	// scratch holds the victim order being shuffled for this thread's
@@ -347,6 +348,10 @@ func (rt *Runtime) dispatch(th *thread) {
 	th.curTask = task
 	th.curStolen = stolen
 	th.curRemote = remote
+	th.curFrom = -1
+	if stolen && victim != nil {
+		th.curFrom = victim.core
+	}
 	rt.eng.After(cost, th.execFn)
 }
 
@@ -376,9 +381,25 @@ func (rt *Runtime) taskDone(th *thread) {
 			Lo: task.Lo, Hi: task.Hi, Core: th.core, Node: th.node,
 			StartSec: float64(th.curStart), EndSec: float64(rt.eng.Now()),
 			Stolen: th.curStolen, Remote: th.curRemote,
+			Strict: task.Strict, FromCore: th.curFrom,
 		})
+		rt.sampleResources()
 	}
 	rt.onTaskDone(th, float64(rt.eng.Now()-th.curStart))
+}
+
+// sampleResources appends one per-node resource sample at the current
+// virtual time. Trace-gated: it runs once per task completion and only
+// while tracing is enabled, never on the metrics-off hot path.
+func (rt *Runtime) sampleResources() {
+	now := float64(rt.eng.Now())
+	for n := 0; n < rt.topo.NumNodes(); n++ {
+		rt.trace.Resources = append(rt.trace.Resources, ResSample{
+			TimeSec: now, Node: n,
+			MCBytes: rt.mach.ControllerBytes(n),
+			Queue:   rt.mach.ControllerLoad(n),
+		})
+	}
 }
 
 func (rt *Runtime) onTaskDone(th *thread, durSec float64) {

@@ -22,6 +22,11 @@ type TaskEvent struct {
 	EndSec   float64 `json:"end"`
 	Stolen   bool    `json:"stolen"`
 	Remote   bool    `json:"remote"` // stolen across NUMA nodes
+	Strict   bool    `json:"strict"` // NUMA-strict (yellow) task
+	// FromCore is the victim core a stolen task was taken from, -1 when
+	// the task ran on its submission core. Trace exporters use it to draw
+	// steal flows.
+	FromCore int `json:"from"`
 }
 
 // LoopMark records one taskloop execution's boundaries.
@@ -34,10 +39,24 @@ type LoopMark struct {
 	Threads   int     `json:"threads"`
 }
 
+// ResSample is one point of the per-node resource time series: cumulative
+// memory-controller bytes and instantaneous queue-pressure load, sampled
+// at task-completion times while tracing is on.
+type ResSample struct {
+	TimeSec float64 `json:"t"`
+	Node    int     `json:"node"`
+	MCBytes float64 `json:"mcBytes"`
+	Queue   float64 `json:"queue"`
+}
+
 // Trace accumulates events when tracing is enabled on a Runtime.
 type Trace struct {
 	Tasks []TaskEvent `json:"tasks"`
 	Loops []LoopMark  `json:"loops"`
+	// Resources carries per-node counter samples for trace exporters
+	// (bandwidth and queue-depth counter tracks). Populated only while
+	// tracing is enabled, so the hot path pays nothing when it is off.
+	Resources []ResSample `json:"resources,omitempty"`
 
 	execCount map[int]int
 }

@@ -24,7 +24,10 @@ type Options struct {
 	Cores int
 	// Nodes is the number of NUMA nodes (required when ByNode).
 	Nodes int
-	// From/To bound the rendered time window; zero values span the trace.
+	// From/To bound the rendered time window; when both are zero the
+	// window spans the trace. Bounds outside the trace span are clamped
+	// to it; From >= To (with either non-zero) is an error, as is a
+	// window that lies entirely outside the trace.
 	From, To float64
 }
 
@@ -65,16 +68,33 @@ func Render(w io.Writer, tr *taskrt.Trace, opts Options) error {
 	if width <= 0 {
 		width = 100
 	}
+	lo, hi := tr.Tasks[0].StartSec, tr.Tasks[0].EndSec
+	for _, ev := range tr.Tasks {
+		if ev.StartSec < lo {
+			lo = ev.StartSec
+		}
+		if ev.EndSec > hi {
+			hi = ev.EndSec
+		}
+	}
 	from, to := opts.From, opts.To
-	if to <= from {
-		from, to = tr.Tasks[0].StartSec, tr.Tasks[0].EndSec
-		for _, ev := range tr.Tasks {
-			if ev.StartSec < from {
-				from = ev.StartSec
-			}
-			if ev.EndSec > to {
-				to = ev.EndSec
-			}
+	if from == 0 && to == 0 {
+		from, to = lo, hi
+	} else {
+		if from >= to {
+			return fmt.Errorf("timeline: empty time window [%g, %g)", from, to)
+		}
+		// Clamp a partially-overlapping window to the trace span instead
+		// of rendering an all-blank (or zero-width) chart; a window with
+		// no overlap at all is a caller error worth surfacing.
+		if to <= lo || from >= hi {
+			return fmt.Errorf("timeline: window [%g, %g) outside trace span [%g, %g)", from, to, lo, hi)
+		}
+		if from < lo {
+			from = lo
+		}
+		if to > hi {
+			to = hi
 		}
 	}
 	span := to - from

@@ -116,6 +116,61 @@ func TestRenderTimeWindow(t *testing.T) {
 	}
 }
 
+func TestRenderWindowClamping(t *testing.T) {
+	tr, rt := traceOf(t)
+	lo, hi := tr.Tasks[0].StartSec, tr.Tasks[0].EndSec
+	for _, ev := range tr.Tasks {
+		if ev.StartSec < lo {
+			lo = ev.StartSec
+		}
+		if ev.EndSec > hi {
+			hi = ev.EndSec
+		}
+	}
+	cores := rt.Topology().NumCores()
+	tests := []struct {
+		name     string
+		from, to float64
+		width    int
+		wantErr  bool
+	}{
+		{name: "spans trace when both zero", from: 0, to: 0, width: 30},
+		{name: "from before trace clamps", from: -1, to: hi, width: 30},
+		{name: "to past trace clamps", from: lo, to: hi * 10, width: 30},
+		{name: "both outside clamp to full span", from: -1, to: hi * 10, width: 30},
+		{name: "interior window", from: lo + (hi-lo)/4, to: hi - (hi-lo)/4, width: 30},
+		{name: "single bucket", from: lo, to: hi, width: 1},
+		{name: "single bucket clamped", from: -1, to: hi * 2, width: 1},
+		{name: "empty window", from: hi / 2, to: hi / 2, wantErr: true},
+		{name: "inverted window", from: hi, to: lo, wantErr: true},
+		{name: "window after trace", from: hi + 1, to: hi + 2, wantErr: true},
+		{name: "window before trace", from: -2, to: -1, wantErr: true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			err := Render(&buf, tr, Options{Width: tc.width, Cores: cores, From: tc.from, To: tc.to})
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("window [%g, %g) accepted; output:\n%s", tc.from, tc.to, buf.String())
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("window [%g, %g): %v", tc.from, tc.to, err)
+			}
+			// A clamped window must still render a non-blank chart.
+			body := buf.String()
+			if i := strings.Index(body, "legend"); i >= 0 {
+				body = body[:i]
+			}
+			if !strings.ContainsAny(body, "ab") {
+				t.Fatalf("window [%g, %g) rendered a blank chart:\n%s", tc.from, tc.to, buf.String())
+			}
+		})
+	}
+}
+
 func TestGlyphsStable(t *testing.T) {
 	if glyphFor(1) != 'a' || glyphFor(2) != 'b' {
 		t.Fatal("glyph mapping changed")
