@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test bench bench-all race cover figures smoke clean
+.PHONY: all check build vet test bench bench-all race cover figures smoke fuzz clean
 
 all: check
 
@@ -37,6 +37,16 @@ race:
 
 cover:
 	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1
+
+# Coverage-guided fuzzing of the simulator under the invariant checker
+# and metamorphic oracles (DESIGN.md §11), then a randomized soak run.
+# FUZZTIME bounds each native target; corpora seed from testdata/fuzz/.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -fuzz=FuzzScenario -fuzztime=$(FUZZTIME) ./internal/simcheck
+	$(GO) test -fuzz=FuzzRenumbering -fuzztime=$(FUZZTIME) ./internal/simcheck
+	$(GO) test -fuzz=FuzzSpecValidate -fuzztime=$(FUZZTIME) ./internal/topology
+	$(GO) run ./cmd/ilanfuzz -runs 500
 
 # Reproduce every figure and table at paper scale (~1h on one core).
 figures:

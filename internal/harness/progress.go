@@ -108,13 +108,37 @@ func (t *Tracker) UnitDone(cell int, rep int, snap *obs.Snapshot, err error) {
 	if t == nil {
 		return
 	}
+	// A late publish — a straggler worker finishing after Finish already
+	// force-completed the counters — must not push done counts past the
+	// declared totals; the campaign is terminal, so the unit is dropped.
+	if t.finished.Load() {
+		return
+	}
 	h := t.hdr.Load()
 	if h == nil || cell < 0 || cell >= len(h.cells) {
 		return
 	}
 	c := h.cells[cell]
-	cellDone := c.done.Add(1)
-	t.done.Add(1)
+	// Bounded increments: Finish may have force-completed the counters
+	// concurrently, and a straggler's publish racing that must not push
+	// them past the declared totals.
+	var cellDone int64
+	for {
+		cur := c.done.Load()
+		if cur >= c.units {
+			return
+		}
+		if c.done.CompareAndSwap(cur, cur+1) {
+			cellDone = cur + 1
+			break
+		}
+	}
+	for {
+		cur := t.done.Load()
+		if cur >= h.total || t.done.CompareAndSwap(cur, cur+1) {
+			break
+		}
+	}
 	if err != nil {
 		t.failed.Add(1)
 	}

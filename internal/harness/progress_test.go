@@ -2,7 +2,9 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -209,6 +211,113 @@ func TestSweepProgressReachesTotalOnPanic(t *testing.T) {
 	}
 	if s.Err == "" {
 		t.Fatal("tracker error message empty after failed campaign")
+	}
+}
+
+// TestTrackerLateUnitDoneDropped is the straggler-publish regression test:
+// a worker finishing a rep after Finish already force-completed the
+// counters (the pool stops dispatching on first failure, then the campaign
+// entry point calls Finish) must not double-count progress units — done
+// counts stay at the declared totals and the late snapshot is dropped.
+func TestTrackerLateUnitDoneDropped(t *testing.T) {
+	tr := NewTracker()
+	tr.Begin("c", []CellDecl{{Name: "a", Units: 2}})
+	tr.UnitDone(0, 0, nil, nil)
+	tr.Finish(fmt.Errorf("rep 1 panicked"))
+
+	run := obs.NewRun(obs.Options{})
+	run.Scope("taskrt").Counter("steals_local_total").Add(1)
+	tr.UnitDone(0, 1, run.Snapshot(), fmt.Errorf("late failure"))
+
+	s := tr.Snapshot()
+	if s.UnitsDone != s.UnitsTotal {
+		t.Fatalf("units_done = %d after late publish, want %d", s.UnitsDone, s.UnitsTotal)
+	}
+	if s.Cells[0].RepsDone != s.Cells[0].RepsTotal {
+		t.Fatalf("cell reps = %d after late publish, want %d",
+			s.Cells[0].RepsDone, s.Cells[0].RepsTotal)
+	}
+	if s.UnitsFailed != 1 {
+		t.Fatalf("units_failed = %d, want 1 (the late unit must not count)", s.UnitsFailed)
+	}
+	if tr.MergedObs() != nil {
+		t.Fatal("late snapshot merged into a finished campaign")
+	}
+}
+
+// TestTrackerConcurrentUnitDoneFinishBounded races many publishers against
+// Finish: whatever the interleaving, counters must end exactly at the
+// declared totals, never past them.
+func TestTrackerConcurrentUnitDoneFinishBounded(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		tr := NewTracker()
+		const units = 8
+		tr.Begin("c", []CellDecl{{Name: "a", Units: units}})
+		var wg sync.WaitGroup
+		for i := 0; i < units; i++ {
+			wg.Add(1)
+			go func(rep int) {
+				defer wg.Done()
+				tr.UnitDone(0, rep, nil, nil)
+			}(i)
+		}
+		tr.Finish(fmt.Errorf("abort"))
+		wg.Wait()
+		s := tr.Snapshot()
+		if s.UnitsDone != units || s.Cells[0].RepsDone != units {
+			t.Fatalf("round %d: done = %d (cell %d), want exactly %d",
+				round, s.UnitsDone, s.Cells[0].RepsDone, units)
+		}
+	}
+}
+
+// TestForEachPanicLeaksNoWorkers checks the pool's abort path sheds its
+// worker goroutines: after a campaign whose reps panic, the goroutine
+// count returns to its pre-campaign level.
+func TestForEachPanicLeaksNoWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	err := ForEach(8, 64, func(i int) error {
+		if i%5 == 3 {
+			panic(fmt.Sprintf("injected panic at %d", i))
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "injected panic") {
+		t.Fatalf("err = %v, want the recovered panic", err)
+	}
+	// Workers exit once the index channel closes; give stragglers a moment.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Fatalf("goroutines: %d before, %d after panicking campaign", before, got)
+	}
+}
+
+// TestSweepPanicAfterFinishScenario drives the full stack: a campaign
+// aborts on a panicking rep while other reps are still in flight, and the
+// tracker's terminal snapshot must stay exactly at its totals (the
+// in-flight reps' late publishes are the straggler path).
+func TestSweepPanicAfterFinishScenario(t *testing.T) {
+	bench := panicBench(t, func(n int64) bool { return n == 1 })
+	cfg := testConfig()
+	cfg.Jobs = 4
+	cfg.Reps = 4
+	tr := NewTracker()
+	cfg.Track = tr
+	_, err := Sweep(bench, SweepBeta, []float64{0, 0.003}, cfg, nil)
+	if err == nil {
+		t.Fatal("sweep with immediate panic returned no error")
+	}
+	s := tr.Snapshot()
+	if s.UnitsDone != s.UnitsTotal {
+		t.Fatalf("units_done = %d, want exactly %d", s.UnitsDone, s.UnitsTotal)
+	}
+	for _, c := range s.Cells {
+		if c.RepsDone != c.RepsTotal {
+			t.Fatalf("cell %s reps = %d, want exactly %d", c.Name, c.RepsDone, c.RepsTotal)
+		}
 	}
 }
 

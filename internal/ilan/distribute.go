@@ -52,8 +52,14 @@ func (s *Scheduler) buildPlan(spec *taskrt.LoopSpec, topo *topology.Machine, cfg
 
 		strict := true
 		if cfg.StealFull {
-			nodeStart := nodeIdx * T / nNodes
-			nodeEnd := (nodeIdx + 1) * T / nNodes
+			// The node's task run under the forward map t*nNodes/T is
+			// [ceil(nodeIdx*T/nNodes), ceil((nodeIdx+1)*T/nNodes)). Ceiling
+			// division is the exact inverse; floor division (the original
+			// code) drifts whenever nNodes does not divide T and computed
+			// zero-task spans for nodes that hold a task, marking their only
+			// task green even at strict fraction 1.
+			nodeStart := (nodeIdx*T + nNodes - 1) / nNodes
+			nodeEnd := ((nodeIdx+1)*T + nNodes - 1) / nNodes
 			span := nodeEnd - nodeStart
 			strictCount := int(math.Round(strictFraction * float64(span)))
 			// A node must keep at least one strict task: truncation on a

@@ -1,0 +1,277 @@
+// Package simcheck is the simulator's always-available invariant checker:
+// it attaches to a taskrt.Runtime as a lifecycle probe and verifies, on
+// every loop execution, the contracts the paper's claims rest on —
+// NUMA-strict tasks never execute off their home node, inter-node steals
+// under the hierarchical full policy only happen when the thief's node is
+// fully drained, every released task executes exactly once, and virtual
+// time never runs backwards.
+//
+// The checker is pure observation: it never feeds back into the
+// simulation, so a checked run's outputs are byte-identical to an
+// unchecked one. It is meant to run under the fuzzers (cmd/ilanfuzz and
+// the go test -fuzz targets in this package) against randomized
+// topologies, workloads, and schedulers, but it is cheap enough to attach
+// in any integration test.
+package simcheck
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/ilan-sched/ilan/internal/machine"
+	"github.com/ilan-sched/ilan/internal/sim"
+	"github.com/ilan-sched/ilan/internal/taskrt"
+	"github.com/ilan-sched/ilan/internal/topology"
+)
+
+// Violation is one observed invariant breach, stamped in virtual time.
+type Violation struct {
+	TimeSec   float64
+	Invariant string // short invariant identifier, e.g. "strict-pinning"
+	Loop      string // loop name, when the breach is loop-scoped
+	Detail    string
+}
+
+// String renders the violation for reports.
+func (v Violation) String() string {
+	return fmt.Sprintf("t=%.9f [%s] loop %q: %s", v.TimeSec, v.Invariant, v.Loop, v.Detail)
+}
+
+// maxViolations bounds the report: a broken invariant usually fires on
+// every subsequent task, and one example per run is what a fuzzer needs.
+const maxViolations = 32
+
+// Checker verifies runtime invariants as a taskrt.Probe. Attach builds
+// one; it must not be shared between runtimes.
+type Checker struct {
+	rt   *taskrt.Runtime
+	mach *machine.Machine
+	topo *topology.Machine
+	eng  *sim.Engine
+
+	violations []Violation
+	truncated  int // violations dropped beyond maxViolations
+
+	// Per-loop state, reset at LoopStart.
+	spec         *taskrt.LoopSpec
+	plan         *taskrt.Plan
+	started      int
+	completed    int
+	inFlight     map[*taskrt.Task]bool
+	everStarted  map[*taskrt.Task]bool
+	activeByNode [][]int // active cores per node for the current plan
+	lastTime     sim.Time
+
+	// Run totals (Stats).
+	loops  int
+	tasks  int
+	steals int
+}
+
+// Attach builds a Checker and installs it as the runtime's probe.
+func Attach(rt *taskrt.Runtime) *Checker {
+	c := &Checker{
+		rt:           rt,
+		mach:         rt.Machine(),
+		topo:         rt.Topology(),
+		eng:          rt.Machine().Engine(),
+		inFlight:     make(map[*taskrt.Task]bool),
+		everStarted:  make(map[*taskrt.Task]bool),
+		activeByNode: make([][]int, rt.Topology().NumNodes()),
+	}
+	rt.SetProbe(c)
+	return c
+}
+
+// Violations returns the recorded breaches (nil when the run was clean).
+func (c *Checker) Violations() []Violation { return c.violations }
+
+// Err returns nil for a clean run, or an error summarizing every recorded
+// violation.
+func (c *Checker) Err() error {
+	if len(c.violations) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "simcheck: %d invariant violation(s)", len(c.violations)+c.truncated)
+	if c.truncated > 0 {
+		fmt.Fprintf(&b, " (%d not shown)", c.truncated)
+	}
+	for _, v := range c.violations {
+		b.WriteString("\n  ")
+		b.WriteString(v.String())
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+// Stats reports what the checker saw: loops completed, task executions
+// verified, steals verified.
+func (c *Checker) Stats() (loops, tasks, steals int) {
+	return c.loops, c.tasks, c.steals
+}
+
+func (c *Checker) violate(invariant, format string, args ...any) {
+	if len(c.violations) >= maxViolations {
+		c.truncated++
+		return
+	}
+	loop := ""
+	if c.spec != nil {
+		loop = c.spec.Name
+	}
+	c.violations = append(c.violations, Violation{
+		TimeSec:   float64(c.eng.Now()),
+		Invariant: invariant,
+		Loop:      loop,
+		Detail:    fmt.Sprintf(format, args...),
+	})
+}
+
+// checkTime enforces virtual-time monotonicity across probe events.
+func (c *Checker) checkTime(where string) {
+	now := c.eng.Now()
+	if now < c.lastTime {
+		c.violate("time-monotonic", "%s observed t=%.12g after t=%.12g", where, float64(now), float64(c.lastTime))
+	}
+	c.lastTime = now
+}
+
+// LoopStart implements taskrt.Probe.
+func (c *Checker) LoopStart(spec *taskrt.LoopSpec, plan *taskrt.Plan) {
+	c.checkTime("LoopStart")
+	if c.spec != nil {
+		c.violate("loop-serialized", "loop %q started while %q is open", spec.Name, c.spec.Name)
+	}
+	// Independent re-validation of the plan the runtime actually received:
+	// schedulers must never hand over an inconsistent plan, whatever path
+	// produced it.
+	if err := plan.Validate(spec, c.topo.NumCores()); err != nil {
+		c.violate("plan-valid", "%v", err)
+	}
+	c.spec, c.plan = spec, plan
+	c.started, c.completed = 0, 0
+	clear(c.inFlight)
+	clear(c.everStarted)
+	for n := range c.activeByNode {
+		c.activeByNode[n] = c.activeByNode[n][:0]
+	}
+	for _, core := range plan.Active {
+		if core < 0 || core >= c.topo.NumCores() {
+			continue // already reported by plan-valid
+		}
+		n := c.topo.NodeOfCore(core)
+		c.activeByNode[n] = append(c.activeByNode[n], core)
+	}
+}
+
+// Steal implements taskrt.Probe: it checks the steal against the plan's
+// mode, the task's strictness, and — for primary inter-node steals under
+// the hierarchical policy — the paper's full-drain precondition.
+func (c *Checker) Steal(thiefCore, victimCore int, task *taskrt.Task, remote, primary bool) {
+	c.checkTime("Steal")
+	c.steals++
+	if c.plan == nil {
+		c.violate("steal-in-loop", "steal outside a loop (thief %d, victim %d)", thiefCore, victimCore)
+		return
+	}
+	thiefNode := c.topo.NodeOfCore(thiefCore)
+	victimNode := c.topo.NodeOfCore(victimCore)
+	if wantRemote := thiefNode != victimNode; wantRemote != remote {
+		c.violate("steal-remote-flag", "steal %d<-%d reported remote=%v, nodes %d/%d",
+			thiefCore, victimCore, remote, thiefNode, victimNode)
+	}
+	if c.plan.Mode == taskrt.StealOff {
+		c.violate("steal-mode", "steal %d<-%d with stealing disabled", thiefCore, victimCore)
+	}
+	if !remote {
+		return
+	}
+	// Inter-node steal: only non-strict (green) tasks may cross nodes...
+	if task.Strict {
+		c.violate("strict-no-cross", "strict task [%d,%d) home %d stolen across nodes %d<-%d",
+			task.Lo, task.Hi, task.Home, thiefNode, victimNode)
+	}
+	if c.plan.Mode != taskrt.StealHierarchical {
+		return
+	}
+	// ...and only when the plan runs the full steal policy...
+	if !c.plan.InterNodeSteal {
+		c.violate("steal-policy", "inter-node steal %d<-%d under steal_policy=strict",
+			thiefCore, victimCore)
+	}
+	// ...and only once the thief's whole node is out of queued work. The
+	// precondition applies at the moment of the primary steal; the extra
+	// tasks of a chunked steal land in the thief's own deque by design.
+	if primary {
+		for _, core := range c.activeByNode[thiefNode] {
+			if q := c.rt.QueuedTasks(core); q != 0 {
+				c.violate("full-drain", "inter-node steal %d<-%d while core %d on node %d holds %d queued task(s)",
+					thiefCore, victimCore, core, thiefNode, q)
+			}
+		}
+	}
+}
+
+// TaskStart implements taskrt.Probe: strict tasks must start on their home
+// node, and no task may start twice.
+func (c *Checker) TaskStart(core int, task *taskrt.Task) {
+	c.checkTime("TaskStart")
+	c.tasks++
+	if c.spec == nil {
+		c.violate("task-in-loop", "task [%d,%d) started outside a loop", task.Lo, task.Hi)
+		return
+	}
+	c.started++
+	if c.everStarted[task] {
+		c.violate("task-once", "task [%d,%d) started twice", task.Lo, task.Hi)
+	}
+	c.everStarted[task] = true
+	c.inFlight[task] = true
+	if node := c.topo.NodeOfCore(core); task.Strict && node != task.Home {
+		c.violate("strict-pinning", "strict task [%d,%d) home node %d executing on core %d (node %d)",
+			task.Lo, task.Hi, task.Home, core, node)
+	}
+}
+
+// TaskDone implements taskrt.Probe.
+func (c *Checker) TaskDone(core int, task *taskrt.Task) {
+	c.checkTime("TaskDone")
+	if !c.inFlight[task] {
+		c.violate("task-once", "task [%d,%d) completed on core %d without a matching start",
+			task.Lo, task.Hi, core)
+		return
+	}
+	delete(c.inFlight, task)
+	c.completed++
+}
+
+// LoopDone implements taskrt.Probe: task conservation and post-loop
+// quiescence.
+func (c *Checker) LoopDone(spec *taskrt.LoopSpec, plan *taskrt.Plan, st *taskrt.LoopStats) {
+	c.checkTime("LoopDone")
+	c.loops++
+	want := len(plan.Place)
+	if c.started != want || c.completed != want {
+		c.violate("task-conservation", "released %d tasks, started %d, completed %d",
+			want, c.started, c.completed)
+	}
+	if len(c.inFlight) != 0 {
+		c.violate("task-conservation", "%d task(s) still in flight at the barrier", len(c.inFlight))
+	}
+	total := 0
+	for _, n := range st.NodeTasks {
+		total += n
+	}
+	if total != want {
+		c.violate("stats-conservation", "NodeTasks sums to %d, plan released %d", total, want)
+	}
+	for core := 0; core < c.topo.NumCores(); core++ {
+		if q := c.rt.QueuedTasks(core); q != 0 {
+			c.violate("deque-drained", "core %d holds %d queued task(s) after the barrier", core, q)
+		}
+	}
+	if !c.mach.Quiesced() {
+		c.violate("machine-quiesced", "machine not quiesced after the barrier")
+	}
+	c.spec, c.plan = nil, nil
+}

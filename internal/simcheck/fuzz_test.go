@@ -1,0 +1,49 @@
+package simcheck
+
+import (
+	"testing"
+)
+
+// FuzzScenario is the main native fuzz target: the fuzzer mutates a byte
+// string that GenScenario decodes into a (topology, machine, workload,
+// scheduler) combination, and the run must satisfy every invariant and
+// metamorphic oracle. Violations reproduce from the corpus entry alone.
+//
+//	go test -fuzz=FuzzScenario -fuzztime=30s ./internal/simcheck
+func FuzzScenario(f *testing.F) {
+	f.Add([]byte{}, uint64(1))
+	f.Add([]byte{0xff, 0xff, 0x01, 0x80, 0x7f, 0x3c, 0x00, 0x41}, uint64(2025))
+	f.Add([]byte("ilan-fuzz-seed-corpus-entry-with-some-length-to-it"), uint64(0xdeadbeef))
+	f.Fuzz(func(t *testing.T, data []byte, seed uint64) {
+		sc := GenScenario(NewByteSource(data), seed|1)
+		res := sc.Run()
+		if res.Err != nil {
+			t.Fatalf("run failed: %v\n%s", res.Err, sc)
+		}
+		if res.Check != nil {
+			t.Fatalf("%v\n%s", res.Check, sc)
+		}
+		if err := CheckDeterminism(sc); err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckSeedIndependence(sc); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzRenumbering fuzzes the node-renumbering metamorphic oracle:
+// relabeling NUMA nodes with a socket-structure-preserving permutation
+// must leave scripted StealOff runs byte-identical.
+func FuzzRenumbering(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x10, 0x32, 0x54, 0x76, 0x98, 0xba, 0xdc, 0xfe, 0x01, 0x02, 0x03})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		src := NewByteSource(data)
+		rs := GenRenumberScenario(src)
+		pi := GenNodePermutation(src, rs.Spec)
+		if err := CheckRenumbering(rs, pi); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

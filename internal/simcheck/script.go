@@ -1,0 +1,47 @@
+package simcheck
+
+import (
+	"github.com/ilan-sched/ilan/internal/sim"
+	"github.com/ilan-sched/ilan/internal/taskrt"
+)
+
+// scriptSched is the adversarial plan generator: it feeds the runtime
+// random — but always Validate-clean — plans no real scheduler would
+// produce: strict tasks pinned to arbitrary nodes, narrow random active
+// sets, chunked steals under every mode, random per-plan overheads. The
+// invariant checker must hold against all of them; the runtime's contracts
+// are about plan *execution*, not about plans being sensible.
+type scriptSched struct {
+	rng *sim.RNG
+}
+
+func (s *scriptSched) Name() string { return "scripted" }
+
+func (s *scriptSched) Plan(rt *taskrt.Runtime, spec *taskrt.LoopSpec) *taskrt.Plan {
+	topo := rt.Topology()
+	nCores := topo.NumCores()
+
+	// Random non-empty active set, drawn as a random prefix size of a
+	// random permutation so narrow and wide sets both occur.
+	perm := s.rng.Perm(nCores)
+	active := perm[:1+s.rng.Intn(nCores)]
+	p := &taskrt.Plan{
+		Active:            append([]int(nil), active...),
+		Mode:              taskrt.StealMode(s.rng.Intn(3)),
+		InterNodeSteal:    s.rng.Intn(2) == 0,
+		StealChunk:        s.rng.Intn(5),
+		SelectOverheadSec: float64(s.rng.Intn(3)) * 1e-6,
+	}
+	for t := 0; t < spec.Tasks; t++ {
+		lo, hi := spec.ChunkBounds(t)
+		p.Place = append(p.Place, taskrt.TaskPlacement{
+			Lo:     lo,
+			Hi:     hi,
+			Core:   active[s.rng.Intn(len(active))],
+			Strict: s.rng.Intn(3) == 0,
+		})
+	}
+	return p
+}
+
+func (s *scriptSched) Observe(*taskrt.Runtime, *taskrt.LoopSpec, *taskrt.LoopStats) {}

@@ -1,0 +1,36 @@
+package taskrt
+
+// Probe observes the runtime's task lifecycle. It exists for invariant
+// checkers (internal/simcheck) and similar always-available verification
+// tooling: the runtime reports what it is doing at each decision point and
+// the probe judges it against the paper's contracts.
+//
+// Overhead contract: every call site is nil-guarded, so a runtime without
+// a probe attached pays one pointer compare per hook and allocates nothing
+// — the hot-path allocation gates (hotpath_test.go) run with no probe and
+// must keep passing. Probe implementations run synchronously inside the
+// event loop; they must not re-enter the runtime's mutating API.
+type Probe interface {
+	// LoopStart fires in SubmitLoop after the plan passed validation,
+	// before any task is released.
+	LoopStart(spec *LoopSpec, plan *Plan)
+	// Steal fires when a thief removes a task from a victim's deque.
+	// primary is true for the steal that trySteal found and false for the
+	// extra tasks a chunked steal transfers into the thief's own deque;
+	// remote reports whether the task crossed NUMA nodes.
+	Steal(thiefCore, victimCore int, task *Task, remote, primary bool)
+	// TaskStart fires when a thread begins executing a task on the machine.
+	TaskStart(core int, task *Task)
+	// TaskDone fires when a task's machine execution completes.
+	TaskDone(core int, task *Task)
+	// LoopDone fires after the loop's barrier, with the final stats, before
+	// the scheduler's Observe hook.
+	LoopDone(spec *LoopSpec, plan *Plan, st *LoopStats)
+}
+
+// SetProbe attaches a lifecycle probe (nil detaches). Attach before
+// submitting work; switching probes mid-loop yields torn observations.
+func (rt *Runtime) SetProbe(p Probe) { rt.probe = p }
+
+// AttachedProbe returns the currently attached probe, or nil.
+func (rt *Runtime) AttachedProbe() Probe { return rt.probe }

@@ -2,6 +2,7 @@ package taskrt
 
 import (
 	"fmt"
+	"strings"
 
 	"github.com/ilan-sched/ilan/internal/machine"
 	"github.com/ilan-sched/ilan/internal/obs"
@@ -47,6 +48,10 @@ type Runtime struct {
 	cur     *loopExec
 	energy  machine.EnergyModel
 	trace   *Trace
+
+	// probe is the attached lifecycle observer (nil = off, the default).
+	// Every use is nil-guarded; see probe.go for the overhead contract.
+	probe Probe
 
 	// obsRun is the attached observability collector (nil = off, the
 	// default); obsLoopHist caches the loop-elapsed histogram handle so the
@@ -204,6 +209,9 @@ func (rt *Runtime) SubmitLoop(spec *LoopSpec, done func(*LoopStats)) {
 	if err := plan.Validate(spec, rt.topo.NumCores()); err != nil {
 		panic(err)
 	}
+	if rt.probe != nil {
+		rt.probe.LoopStart(spec, plan)
+	}
 
 	le := &loopExec{
 		spec:        spec,
@@ -304,6 +312,9 @@ func (rt *Runtime) dispatch(th *thread) {
 		stolen = task != nil
 		attempted = le.plan.Mode != StealOff
 	}
+	if stolen && rt.probe != nil {
+		rt.probe.Steal(th.core, victim.core, task, remote, true)
+	}
 	if stolen && remote && victim != nil && le.plan.StealChunk > 1 {
 		// Chunked remote steal (shepherd-style): transfer extra eligible
 		// tasks into the thief's own deque so its node's subsequent
@@ -312,6 +323,9 @@ func (rt *Runtime) dispatch(th *thread) {
 			extra := victim.stealFor(th.node, rt.rng)
 			if extra == nil {
 				break
+			}
+			if rt.probe != nil {
+				rt.probe.Steal(th.core, victim.core, extra, remote, false)
 			}
 			th.deque = append(th.deque, extra)
 		}
@@ -363,6 +377,9 @@ func (rt *Runtime) execTask(th *thread) {
 		panic("taskrt: task dispatched outside a loop")
 	}
 	task := th.curTask
+	if rt.probe != nil {
+		rt.probe.TaskStart(th.core, task)
+	}
 	compute, acc := le.spec.Demand(task.Lo, task.Hi)
 	th.curStart = rt.eng.Now()
 	rt.mach.Exec(th.core, compute, acc, th.taskDoneFn)
@@ -407,6 +424,9 @@ func (rt *Runtime) onTaskDone(th *thread, durSec float64) {
 	if le == nil {
 		panic("taskrt: task completed outside a loop")
 	}
+	if rt.probe != nil {
+		rt.probe.TaskDone(th.core, th.curTask)
+	}
 	le.st.NodeTaskSeconds[th.node] += durSec
 	le.st.NodeTasks[th.node]++
 	le.remaining--
@@ -441,6 +461,9 @@ func (rt *Runtime) completeLoop() {
 	}
 	if rt.obsRun != nil {
 		rt.observeLoop(le)
+	}
+	if rt.probe != nil {
+		rt.probe.LoopDone(le.spec, le.plan, &le.st)
 	}
 	rt.cur = nil
 	rt.loopExecutions++
@@ -563,6 +586,7 @@ func (th *thread) stealFor(thiefNode int, rng *sim.RNG) *Task {
 		return nil
 	}
 	pick := rng.Intn(eligible)
+	drawn := pick
 	for i, t := range th.deque {
 		if t.Strict && t.Home != thiefNode {
 			continue
@@ -573,7 +597,28 @@ func (th *thread) stealFor(thiefNode int, rng *sim.RNG) *Task {
 		}
 		pick--
 	}
-	panic("taskrt: stealFor bookkeeping error")
+	// Unreachable while the eligibility count above and this scan agree;
+	// reaching it means the deque changed between the two passes (data race)
+	// or the predicate diverged. Dump enough state to make a fuzzer-found
+	// violation actionable.
+	panic(stealForStateDump(th, thiefNode, eligible, drawn))
+}
+
+// stealForStateDump renders the victim/thief state for the stealFor
+// consistency panic: the counted-eligible vs scanned mismatch cannot be
+// debugged from a bare message.
+func stealForStateDump(th *thread, thiefNode, eligible, drawn int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "taskrt: stealFor bookkeeping error: drew %d of %d eligible tasks but scan ran dry\n",
+		drawn, eligible)
+	fmt.Fprintf(&b, "  victim: core %d (node %d), %d queued tasks; thief node %d\n",
+		th.core, th.node, len(th.deque), thiefNode)
+	for i, t := range th.deque {
+		elig := !t.Strict || t.Home == thiefNode
+		fmt.Fprintf(&b, "  deque[%d]: iters [%d,%d) strict=%v home=%d eligible=%v\n",
+			i, t.Lo, t.Hi, t.Strict, t.Home, elig)
+	}
+	return b.String()
 }
 
 // QueuedTasks reports the number of tasks currently queued on a core

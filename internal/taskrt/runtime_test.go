@@ -1,6 +1,7 @@
 package taskrt
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -141,6 +142,11 @@ func TestPlanValidate(t *testing.T) {
 		{"gap in tiling", func(p *Plan) { p.Place[1].Lo = 3 }},
 		{"short coverage", func(p *Plan) { p.Place = p.Place[:3] }},
 		{"inactive core", func(p *Plan) { p.Place[0].Core = 5 }},
+		{"unknown steal mode", func(p *Plan) { p.Mode = StealMode(7) }},
+		{"negative steal chunk", func(p *Plan) { p.StealChunk = -1 }},
+		{"negative select overhead", func(p *Plan) { p.SelectOverheadSec = -1e-6 }},
+		{"NaN select overhead", func(p *Plan) { p.SelectOverheadSec = math.NaN() }},
+		{"infinite select overhead", func(p *Plan) { p.SelectOverheadSec = math.Inf(1) }},
 	}
 	for _, m := range mutations {
 		t.Run(m.name, func(t *testing.T) {

@@ -1,0 +1,108 @@
+package taskrt
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/ilan-sched/ilan/internal/sim"
+)
+
+// Tests for stealFor's two-pass eligibility scan: the count pass and the
+// pick pass must agree, and when they ever disagree the panic must carry a
+// full victim/thief state dump (the fuzzer's violations are unactionable
+// from a bare "bookkeeping error" string).
+
+// mkVictim builds a bare thread with the given deque for direct stealFor
+// calls (no runtime needed; stealFor only touches the deque).
+func mkVictim(core, node int, tasks []Task) *thread {
+	th := &thread{core: core, node: node}
+	for i := range tasks {
+		th.deque = append(th.deque, &tasks[i])
+	}
+	return th
+}
+
+// TestStealForNearMissLastEligible drives the near-miss path of the
+// bookkeeping panic: every task but the final one is strict with a foreign
+// home, so the count pass sees exactly one eligible task and the pick scan
+// must skip to the deque's last slot — one off-by-one away from running
+// dry. A predicate or count drift trips the diagnostic panic here.
+func TestStealForNearMissLastEligible(t *testing.T) {
+	tasks := []Task{
+		{Lo: 0, Hi: 1, Strict: true, Home: 2},
+		{Lo: 1, Hi: 2, Strict: true, Home: 3},
+		{Lo: 2, Hi: 3, Strict: true, Home: 2},
+		{Lo: 3, Hi: 4, Strict: false, Home: 2},
+	}
+	th := mkVictim(8, 2, tasks)
+	rng := sim.NewRNG(1)
+
+	got := th.stealFor(0, rng) // thief on node 0: only the green task fits
+	if got == nil || got.Lo != 3 {
+		t.Fatalf("stealFor returned %+v, want the green task [3,4)", got)
+	}
+	if len(th.deque) != 3 {
+		t.Fatalf("deque length %d after steal, want 3", len(th.deque))
+	}
+	for i, want := range []int{0, 1, 2} {
+		if th.deque[i].Lo != want {
+			t.Fatalf("deque[%d].Lo = %d, want %d (removal must preserve order)",
+				i, th.deque[i].Lo, want)
+		}
+	}
+
+	// The remaining tasks are all strict-foreign for node 0 but all
+	// eligible for a same-home thief.
+	if th.stealFor(0, rng) != nil {
+		t.Fatal("steal from node 0 succeeded with only foreign-strict tasks queued")
+	}
+	if th.stealFor(2, rng) == nil {
+		t.Fatal("same-home thief failed to steal a strict task")
+	}
+}
+
+// TestStealForExhaustsDeque steals until empty from a mixed deque,
+// exercising every pick position including the final one.
+func TestStealForExhaustsDeque(t *testing.T) {
+	tasks := []Task{
+		{Lo: 0, Hi: 1, Strict: false, Home: 0},
+		{Lo: 1, Hi: 2, Strict: true, Home: 1},
+		{Lo: 2, Hi: 3, Strict: false, Home: 0},
+		{Lo: 3, Hi: 4, Strict: true, Home: 1},
+		{Lo: 4, Hi: 5, Strict: false, Home: 1},
+	}
+	th := mkVictim(4, 1, tasks)
+	rng := sim.NewRNG(99)
+	for want := len(tasks); want > 0; want-- {
+		if got := th.stealFor(1, rng); got == nil {
+			t.Fatalf("stealFor ran dry with %d tasks queued", want)
+		}
+	}
+	if th.stealFor(1, rng) != nil {
+		t.Fatal("steal from empty deque returned a task")
+	}
+}
+
+// TestStealForPanicDumpIsDiagnostic checks the state dump the bookkeeping
+// panic carries: victim identity, thief node, draw, and per-task
+// eligibility must all be present.
+func TestStealForPanicDumpIsDiagnostic(t *testing.T) {
+	tasks := []Task{
+		{Lo: 0, Hi: 8, Strict: true, Home: 3},
+		{Lo: 8, Hi: 16, Strict: false, Home: 1},
+	}
+	th := mkVictim(12, 3, tasks)
+	dump := stealForStateDump(th, 0, 2, 1)
+	for _, want := range []string{
+		"stealFor bookkeeping error",
+		"drew 1 of 2 eligible",
+		"victim: core 12 (node 3)",
+		"thief node 0",
+		"deque[0]: iters [0,8) strict=true home=3 eligible=false",
+		"deque[1]: iters [8,16) strict=false home=1 eligible=true",
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+}

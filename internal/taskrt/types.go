@@ -11,6 +11,7 @@ package taskrt
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/ilan-sched/ilan/internal/memsys"
 	"github.com/ilan-sched/ilan/internal/sim"
@@ -136,6 +137,19 @@ type Plan struct {
 
 // Validate checks the plan against a spec and core count.
 func (p *Plan) Validate(spec *LoopSpec, numCores int) error {
+	if p.Mode > StealOff {
+		return fmt.Errorf("taskrt: plan for %q has unknown steal mode %d", spec.Name, p.Mode)
+	}
+	if p.StealChunk < 0 {
+		return fmt.Errorf("taskrt: plan for %q has negative steal chunk %d", spec.Name, p.StealChunk)
+	}
+	if !(p.SelectOverheadSec >= 0) || math.IsInf(p.SelectOverheadSec, 1) {
+		// Negative overhead would schedule the task release in the past
+		// (an engine panic far from the cause); NaN would poison virtual
+		// time entirely.
+		return fmt.Errorf("taskrt: plan for %q has invalid select overhead %g",
+			spec.Name, p.SelectOverheadSec)
+	}
 	if len(p.Active) == 0 {
 		return fmt.Errorf("taskrt: plan for %q has no active cores", spec.Name)
 	}

@@ -1,0 +1,78 @@
+package topology
+
+import (
+	"testing"
+)
+
+// FuzzSpecValidate fuzzes raw spec fields: whatever the fuzzer produces,
+// Validate must either reject the spec or New must build a machine whose
+// structural invariants hold. Nothing here may panic.
+//
+//	go test -fuzz=FuzzSpecValidate -fuzztime=30s ./internal/topology
+func FuzzSpecValidate(f *testing.F) {
+	f.Add(2, 2, 8, 8, int64(32<<20), 1.2, 2.3)
+	f.Add(1, 1, 1, 1, int64(0), 1.0, 1.0)
+	f.Add(-1, 4, 16, 8, int64(96<<20), 0.0, 100.0)
+	f.Add(1<<30, 1<<30, 1<<30, 1, int64(1), 1.5, 1.5)
+	f.Fuzz(func(t *testing.T, sockets, nps, cpn, ccd int, l3 int64, same, cross float64) {
+		spec := Spec{
+			Sockets:             sockets,
+			NodesPerSocket:      nps,
+			CoresPerNode:        cpn,
+			CoresPerCCD:         ccd,
+			L3BytesPerCCD:       l3,
+			SameSocketDistance:  same,
+			CrossSocketDistance: cross,
+		}
+		if err := spec.Validate(); err != nil {
+			if _, err2 := New(spec); err2 == nil {
+				t.Fatalf("Validate rejected (%v) but New accepted: %+v", err, spec)
+			}
+			return
+		}
+		m, err := New(spec)
+		if err != nil {
+			t.Fatalf("Validate accepted but New rejected: %v: %+v", err, spec)
+		}
+		if got := m.NumNodes(); got != sockets*nps {
+			t.Fatalf("NumNodes = %d, want %d", got, sockets*nps)
+		}
+		if got := m.NumCores(); got != sockets*nps*cpn {
+			t.Fatalf("NumCores = %d, want %d", got, sockets*nps*cpn)
+		}
+		if m.NumNodes() < 2 {
+			t.Fatalf("Validate accepted a single-node machine: %+v", spec)
+		}
+		// Every core maps to exactly one node and back.
+		seen := make([]bool, m.NumCores())
+		for n := 0; n < m.NumNodes(); n++ {
+			for _, c := range m.CoresOfNode(n) {
+				if m.NodeOfCore(c) != n {
+					t.Fatalf("core %d: NodeOfCore=%d, listed under node %d", c, m.NodeOfCore(c), n)
+				}
+				if seen[c] {
+					t.Fatalf("core %d listed under two nodes", c)
+				}
+				seen[c] = true
+			}
+		}
+		for c, ok := range seen {
+			if !ok {
+				t.Fatalf("core %d not listed under any node", c)
+			}
+		}
+		// Distances: reflexive zero on the diagonal is not required (local
+		// access has distance 1), but symmetry and the same<=cross ordering are.
+		for a := 0; a < m.NumNodes(); a++ {
+			for b := 0; b < m.NumNodes(); b++ {
+				if m.Distance(a, b) != m.Distance(b, a) {
+					t.Fatalf("distance asymmetric: d(%d,%d)=%g d(%d,%d)=%g",
+						a, b, m.Distance(a, b), b, a, m.Distance(b, a))
+				}
+				if a != b && !(m.Distance(a, b) >= 1) {
+					t.Fatalf("remote distance d(%d,%d)=%g < 1", a, b, m.Distance(a, b))
+				}
+			}
+		}
+	})
+}

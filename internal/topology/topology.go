@@ -11,6 +11,7 @@ package topology
 
 import (
 	"fmt"
+	"math"
 	"strings"
 )
 
@@ -30,15 +31,43 @@ type Spec struct {
 	CrossSocketDistance float64 // node-to-node across sockets
 }
 
+// Size ceilings for Validate. They are far above any machine the simulator
+// models (the paper's largest sensitivity platform has 128 cores) and exist
+// so that arbitrary specs — e.g. fuzzer-generated ones — cannot overflow
+// the ID arithmetic or allocate unbounded core maps in New.
+const (
+	MaxSockets        = 64
+	MaxNodesPerSocket = 64
+	MaxCoresPerNode   = 1024
+	MaxCores          = 1 << 16
+)
+
 // Validate checks the spec for internal consistency.
 func (s Spec) Validate() error {
 	switch {
 	case s.Sockets <= 0:
 		return fmt.Errorf("topology: Sockets = %d, must be positive", s.Sockets)
+	case s.Sockets > MaxSockets:
+		return fmt.Errorf("topology: Sockets = %d exceeds maximum %d", s.Sockets, MaxSockets)
 	case s.NodesPerSocket <= 0:
 		return fmt.Errorf("topology: NodesPerSocket = %d, must be positive", s.NodesPerSocket)
+	case s.NodesPerSocket > MaxNodesPerSocket:
+		return fmt.Errorf("topology: NodesPerSocket = %d exceeds maximum %d",
+			s.NodesPerSocket, MaxNodesPerSocket)
+	case s.Sockets*s.NodesPerSocket < 2:
+		// A NUMA scheduler on a single-node machine is meaningless, and the
+		// layers above assume at least one remote node exists (distance
+		// tables, steal partitions, node-mask search).
+		return fmt.Errorf("topology: %d socket(s) x %d node(s) is a single-node machine, need >= 2 nodes",
+			s.Sockets, s.NodesPerSocket)
 	case s.CoresPerNode <= 0:
 		return fmt.Errorf("topology: CoresPerNode = %d, must be positive", s.CoresPerNode)
+	case s.CoresPerNode > MaxCoresPerNode:
+		return fmt.Errorf("topology: CoresPerNode = %d exceeds maximum %d",
+			s.CoresPerNode, MaxCoresPerNode)
+	case s.Sockets*s.NodesPerSocket*s.CoresPerNode > MaxCores:
+		return fmt.Errorf("topology: %d total cores exceeds maximum %d",
+			s.Sockets*s.NodesPerSocket*s.CoresPerNode, MaxCores)
 	case s.CoresPerCCD <= 0:
 		return fmt.Errorf("topology: CoresPerCCD = %d, must be positive", s.CoresPerCCD)
 	case s.CoresPerNode%s.CoresPerCCD != 0:
@@ -46,11 +75,14 @@ func (s Spec) Validate() error {
 			s.CoresPerCCD, s.CoresPerNode)
 	case s.L3BytesPerCCD <= 0:
 		return fmt.Errorf("topology: L3BytesPerCCD = %d, must be positive", s.L3BytesPerCCD)
-	case s.SameSocketDistance < 1:
+	case !(s.SameSocketDistance >= 1): // NaN fails this comparison too
 		return fmt.Errorf("topology: SameSocketDistance = %g, must be >= 1", s.SameSocketDistance)
-	case s.CrossSocketDistance < s.SameSocketDistance:
-		return fmt.Errorf("topology: CrossSocketDistance %g < SameSocketDistance %g",
+	case !(s.CrossSocketDistance >= s.SameSocketDistance):
+		return fmt.Errorf("topology: CrossSocketDistance %g < SameSocketDistance %g (or NaN)",
 			s.CrossSocketDistance, s.SameSocketDistance)
+	case math.IsInf(s.SameSocketDistance, 1) || math.IsInf(s.CrossSocketDistance, 1):
+		return fmt.Errorf("topology: distance factors must be finite (same=%g cross=%g)",
+			s.SameSocketDistance, s.CrossSocketDistance)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package topology
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 )
@@ -38,6 +39,23 @@ func TestValidateRejectsBadSpecs(t *testing.T) {
 		{"zero l3", func(s *Spec) { s.L3BytesPerCCD = 0 }},
 		{"distance < 1", func(s *Spec) { s.SameSocketDistance = 0.5 }},
 		{"cross < same", func(s *Spec) { s.CrossSocketDistance = 1.0 }},
+		{"NaN same distance", func(s *Spec) { s.SameSocketDistance = math.NaN() }},
+		{"NaN cross distance", func(s *Spec) { s.CrossSocketDistance = math.NaN() }},
+		{"infinite cross distance", func(s *Spec) { s.CrossSocketDistance = math.Inf(1) }},
+		{"single node machine", func(s *Spec) { s.Sockets = 1; s.NodesPerSocket = 1 }},
+		{"sockets over cap", func(s *Spec) { s.Sockets = MaxSockets + 1 }},
+		{"nodes over cap", func(s *Spec) { s.NodesPerSocket = MaxNodesPerSocket + 1 }},
+		{"cores-per-node over cap", func(s *Spec) { s.CoresPerNode = MaxCoresPerNode + 2 }},
+		{"total cores over cap", func(s *Spec) {
+			s.Sockets = 32
+			s.NodesPerSocket = 64
+			s.CoresPerNode = 64
+		}},
+		{"huge fields would overflow", func(s *Spec) {
+			s.Sockets = 1 << 31
+			s.NodesPerSocket = 1 << 31
+			s.CoresPerNode = 1 << 31
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -210,7 +228,9 @@ func TestPropertyNearestNodes(t *testing.T) {
 		}
 		m, err := New(spec)
 		if err != nil {
-			return false
+			// Single-node machines are the only rejectable shape the
+			// generator can produce.
+			return spec.Sockets*spec.NodesPerSocket < 2
 		}
 		for from := 0; from < m.NumNodes(); from++ {
 			order := m.NearestNodes(from)
