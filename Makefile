@@ -22,7 +22,7 @@ test:
 # Hot-path benchmarks (event engine, dispatch/steal loop, full campaign)
 # with allocation stats; the JSON snapshot records the perf trajectory.
 bench:
-	$(GO) test -bench='BenchmarkEngineEvents|BenchmarkDispatchSteal|BenchmarkFullCampaignCG' \
+	$(GO) test -bench='BenchmarkEngineEvents|BenchmarkDispatchSteal|BenchmarkFullCampaignCG|BenchmarkRefreshStorm' \
 		-benchmem -run=NONE . | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_hotpath.json
 
 # Full benchmark sweep (figures, ablations, micro-benches).

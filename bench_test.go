@@ -11,6 +11,7 @@
 package ilan_test
 
 import (
+	"fmt"
 	"io"
 	"net/http"
 	"testing"
@@ -394,6 +395,44 @@ func BenchmarkMachineExec(b *testing.B) {
 	}
 	if err := m.Engine().Run(); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// BenchmarkRefreshStorm measures the per-boundary cost of event-driven
+// processor sharing under worst-case sharing: N memory-bound co-runners
+// all hammering one memory controller, so every task start and completion
+// re-rates all N sharers. This is the path the instant-coalesced refresh
+// and in-place rescheduling optimize; the sweep over N exposes the
+// superlinear growth the eager path suffered. b.N counts task executions.
+func BenchmarkRefreshStorm(b *testing.B) {
+	for _, n := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			m := benchMachine(1)
+			r := m.Memory().NewRegion("hot", 64*memsys.BlockSize)
+			r.PlaceOnNode(0)
+			acc := []memsys.Access{{Region: r, Offset: 0, Bytes: 8 * memsys.BlockSize, Pattern: memsys.Stream}}
+			done := 0
+			// One relaunch callback per core, bound before the timer: the
+			// measured loop itself must stay allocation-free.
+			relaunch := make([]func(), n)
+			for c := 0; c < n; c++ {
+				c := c
+				relaunch[c] = func() {
+					done++
+					if done < b.N {
+						m.Exec(c, 1e-6, acc, relaunch[c])
+					}
+				}
+			}
+			b.ResetTimer()
+			for c := 0; c < n && c < b.N; c++ {
+				m.Exec(c, 1e-6, acc, relaunch[c])
+			}
+			if err := m.Engine().Run(); err != nil {
+				b.Fatal(err)
+			}
+		})
 	}
 }
 

@@ -48,6 +48,7 @@ func main() {
 	serve := flag.String("serve", "", "serve live campaign progress over HTTP on this address (e.g. :8080 or 127.0.0.1:0)")
 	serveLinger := flag.Duration("serve-linger", 0, "keep the -serve monitor up this long after the campaign finishes")
 	perfetto := flag.String("perfetto", "", "write rep 0's execution trace as Perfetto (Chrome trace-event) JSON to this file (implies -metrics -trace-decisions)")
+	noCoalesce := flag.Bool("no-coalesce", false, "disable instant-coalesced refresh in the fluid model (debug; outputs are byte-identical either way)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 	memprofile := flag.String("memprofile", "", "write a heap-allocation profile to this file at exit")
 	flag.Parse()
@@ -96,6 +97,7 @@ func main() {
 	cfg.Jobs = *jobs
 	cfg.Metrics = *metrics
 	cfg.TraceDecisions = *traceDecisions
+	cfg.NoCoalesce = *noCoalesce
 	if *perfetto != "" {
 		// The exporter needs the task trace plus the decision trace; turn
 		// both on rather than failing on a missing flag combination.

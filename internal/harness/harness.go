@@ -115,6 +115,10 @@ type Config struct {
 	CoreStreamBW float64
 	Alpha        *float64
 	Beta         *float64
+	// NoCoalesce disables the machine's instant-coalesced refresh (eager
+	// per-boundary re-rating instead). Outputs are byte-identical either
+	// way; the flag exists for differential testing (ilanexp -no-coalesce).
+	NoCoalesce bool
 	// Metrics enables the observability layer: every run collects the
 	// internal/obs registry, and cells carry a merged Snapshot. Off by
 	// default — the disabled path is the PR 2 zero-allocation hot path.
@@ -245,6 +249,7 @@ func RunOne(b workloads.Benchmark, k Kind, cfg Config, rep int) (RunSample, erro
 		ControllerBW: cfg.ControllerBW,
 		LinkBW:       cfg.LinkBW,
 		CoreStreamBW: cfg.CoreStreamBW,
+		NoCoalesce:   cfg.NoCoalesce,
 	}
 	if cfg.Alpha != nil {
 		mc.Alpha = *cfg.Alpha

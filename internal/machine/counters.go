@@ -15,8 +15,15 @@ import (
 // extension (see internal/ilan's Objective).
 type Counters struct {
 	// ResourceBytes[r] is the service demand issued to resource r in
-	// bytes (distance- and pattern-inflated, as the controller sees it).
+	// bytes (distance- and pattern-inflated, as the controller sees it),
+	// before per-task execution jitter: the traffic the workload asked for.
 	ResourceBytes []float64
+	// RealizedBytes[r] is the traffic the fluid model actually drains on
+	// resource r: the same demand scaled by each task's execution jitter.
+	// With noise disabled it equals ResourceBytes exactly; with noise on
+	// the two differ per run, and conflating them (the pre-split bug)
+	// over- or under-charged the counters relative to simulated time.
+	RealizedBytes []float64
 	// ComputeSeconds is the summed compute-component time of all tasks
 	// (at unit core speed, before noise).
 	ComputeSeconds float64
@@ -35,6 +42,7 @@ type Counters struct {
 func (m *Machine) Counters() Counters {
 	c := m.counters
 	c.ResourceBytes = append([]float64(nil), m.counters.ResourceBytes...)
+	c.RealizedBytes = append([]float64(nil), m.counters.RealizedBytes...)
 	c.CacheHits, c.CacheMisses = m.caches.Stats()
 	return c
 }
@@ -60,10 +68,20 @@ func (c Counters) CacheHitRate() float64 {
 	return float64(c.CacheHits) / float64(total)
 }
 
-// TotalBytes sums the traffic across all resources.
+// TotalBytes sums the demanded traffic across all resources.
 func (c Counters) TotalBytes() float64 {
 	var t float64
 	for _, b := range c.ResourceBytes {
+		t += b
+	}
+	return t
+}
+
+// TotalRealizedBytes sums the jitter-scaled traffic the fluid model
+// actually drained across all resources.
+func (c Counters) TotalRealizedBytes() float64 {
+	var t float64
+	for _, b := range c.RealizedBytes {
 		t += b
 	}
 	return t

@@ -81,6 +81,11 @@ type Config struct {
 	Beta float64
 	// DisableL3 switches the cache model off (ablation experiments).
 	DisableL3 bool
+	// NoCoalesce disables instant-coalesced refresh: every task boundary
+	// eagerly re-rates all sharers, as the pre-coalescing code did. The two
+	// modes are byte-identical in every output; the flag exists for
+	// differential testing (ilanexp -no-coalesce) and fuzzing.
+	NoCoalesce bool
 }
 
 // Machine is one simulated run's hardware instance. It is not safe for
@@ -97,11 +102,17 @@ type Machine struct {
 	noise     NoiseConfig
 	coreSpeed []float64
 
-	running      []*fluidTask   // by core; nil when idle
-	byResource   [][]*fluidTask // active tasks per resource
-	load         []float64      // queue-pressure load per resource (drives efficiency)
-	svc          []float64      // service-weight sum per resource (drives fair shares)
-	externalLoad []float64      // sustained interferer load (DisturbNode)
+	running    []*fluidTask   // by core; nil when idle
+	byResource [][]*fluidTask // active tasks per resource
+	// ls holds the per-resource load/service aggregates side by side: the
+	// rate computation reads both for every resource of every sharer at every
+	// task boundary, so keeping the pair on one cache line matters.
+	ls           []loadSvc
+	externalLoad []float64 // sustained interferer load (DisturbNode)
+	// nCtrl caches the controller count: resource r is a memory controller
+	// iff r < nCtrl (memsys lays controllers out first), and the hot loop
+	// tests this per resource without chasing through ResourceSet/topology.
+	nCtrl int
 
 	// ftFree pools fluidTask objects (and their per-resource slices and
 	// completion callbacks) across Execs: a campaign starts millions of
@@ -111,6 +122,18 @@ type Machine struct {
 	// of collectAffected (epoch marking instead of a per-call map).
 	epoch    uint64
 	affected []*fluidTask
+
+	// coalesce gates instant-coalesced refresh (on unless Config.NoCoalesce).
+	// dirtyHead/dirtyTail anchor the per-instant dirty list, an intrusive
+	// doubly-linked list threaded through the tasks themselves so marking,
+	// re-marking (move to tail), unlinking on completion, and the flush are
+	// all O(1) per task and never allocate. Re-touching a task within an
+	// instant moves it to the tail, so the flush re-rates each task exactly
+	// once, in last-touch order — the same order in which the eager path
+	// would have issued its final refreshes.
+	coalesce  bool
+	dirtyHead *fluidTask
+	dirtyTail *fluidTask
 
 	busySeconds  []float64 // per-core task execution time
 	tasksStarted uint64
@@ -126,14 +149,29 @@ type Machine struct {
 	lastLoadUpd []sim.Time
 }
 
+// loadSvc pairs the two per-resource aggregates the rate computation needs.
+type loadSvc struct {
+	load float64 // queue-pressure load (drives efficiency)
+	svc  float64 // service-weight sum (drives fair shares)
+}
+
+// resShare is one task's stake in one bandwidth resource. The active
+// resources of a task are stored densely (a task touches a handful of the
+// machine's resources) so refresh walks one small contiguous array instead
+// of gathering from four parallel resource-indexed slices.
+type resShare struct {
+	r      int     // resource ID
+	bytes  float64 // remaining (jittered) bytes to drain on r
+	weight float64 // byte fraction of the task's traffic on r
+	loadW  float64 // queue-pressure-scaled load contribution on r
+}
+
 type fluidTask struct {
 	core       int
-	compute    float64 // remaining compute seconds (at unit speed)
-	compute0   float64 // initial compute seconds (for counter accounting)
-	bytes      []float64
-	weight     []float64 // byte fraction of the task's traffic per resource
-	loadW      []float64 // queue-pressure-scaled load contribution per resource
-	resIdx     []int     // resources with initially positive bytes
+	compute    float64    // remaining compute seconds (at unit speed)
+	compute0   float64    // initial compute seconds (for counter accounting)
+	res        []resShare // dense per-resource state, in resource-ID order
+	pos        []int      // index of this task in byResource[r], for O(1) removal
 	started    sim.Time
 	lastUpdate sim.Time
 	remaining  float64 // cached T at lastUpdate
@@ -141,6 +179,11 @@ type fluidTask struct {
 	done       func()
 	// mark is the collectAffected epoch stamp (see Machine.epoch).
 	mark uint64
+	// dirtyPrev/dirtyNext/onDirty link the task into the machine's
+	// per-instant dirty list (see Machine.dirtyHead).
+	dirtyPrev *fluidTask
+	dirtyNext *fluidTask
+	onDirty   bool
 	// completeFn is the pre-bound completion callback, created once per
 	// pooled object so refresh never allocates a closure.
 	completeFn sim.Event
@@ -161,16 +204,20 @@ func (m *Machine) allocFT() *fluidTask {
 	return ft
 }
 
-// recycleFT clears the entries a finished task wrote (only its own
-// resource indices, not the whole slices) and returns it to the pool.
+// recycleFT clears a finished task's state and returns it to the pool. The
+// dense resource entries just truncate (the next Exec overwrites them);
+// only pos keeps live meaning between uses and is rewritten on insert.
 func (m *Machine) recycleFT(ft *fluidTask) {
-	for _, r := range ft.resIdx {
-		ft.bytes[r], ft.weight[r], ft.loadW[r] = 0, 0, 0
-	}
-	ft.resIdx = ft.resIdx[:0]
+	ft.res = ft.res[:0]
 	ft.compute, ft.compute0, ft.remaining = 0, 0, 0
 	ft.done = nil
 	ft.handle = sim.Handle{}
+	// A completing task may still sit on the dirty list (deferred by an
+	// earlier boundary in this instant); it must not be refreshed after
+	// teardown, nor may a stale link refresh its next incarnation.
+	if ft.onDirty {
+		m.dirtyUnlink(ft)
+	}
 	m.ftFree = append(m.ftFree, ft)
 }
 
@@ -180,11 +227,13 @@ func New(cfg Config) *Machine {
 		panic("machine: nil topology")
 	}
 	m := &Machine{
-		eng:   sim.NewEngine(),
-		topo:  cfg.Topo,
-		noise: cfg.Noise,
-		rng:   sim.NewRNG(cfg.Seed),
+		eng:      sim.NewEngine(),
+		topo:     cfg.Topo,
+		noise:    cfg.Noise,
+		rng:      sim.NewRNG(cfg.Seed),
+		coalesce: !cfg.NoCoalesce,
 	}
+	m.eng.SetFlusher(m.FlushRefresh)
 	m.mem = memsys.NewMemory(cfg.Topo)
 	m.res = memsys.NewResourceSet(cfg.Topo)
 	if cfg.ControllerBW > 0 {
@@ -215,11 +264,12 @@ func New(cfg Config) *Machine {
 	m.running = make([]*fluidTask, nc)
 	m.busySeconds = make([]float64, nc)
 	m.byResource = make([][]*fluidTask, m.res.Count())
-	m.load = make([]float64, m.res.Count())
-	m.svc = make([]float64, m.res.Count())
+	m.ls = make([]loadSvc, m.res.Count())
 	m.externalLoad = make([]float64, m.res.Count())
+	m.nCtrl = cfg.Topo.NumNodes()
 	m.coreSpeed = make([]float64, nc)
 	m.counters.ResourceBytes = make([]float64, m.res.Count())
+	m.counters.RealizedBytes = make([]float64, m.res.Count())
 	m.drawCoreSpeeds()
 	return m
 }
@@ -288,8 +338,8 @@ func (m *Machine) Quiesced() bool {
 			return false
 		}
 	}
-	for r := range m.load {
-		if m.load[r]-m.externalLoad[r] > 1e-9 || m.svc[r] > 1e-9 {
+	for r := range m.ls {
+		if m.ls[r].load-m.externalLoad[r] > 1e-9 || m.ls[r].svc > 1e-9 {
 			return false
 		}
 		if len(m.byResource[r]) != 0 {
@@ -326,7 +376,7 @@ func (m *Machine) DisturbNode(node int, coreSlowdown, memLoad float64) {
 	if m.obsOn {
 		m.obsAccumLoad(ctrl)
 	}
-	m.load[ctrl] += memLoad
+	m.ls[ctrl].load += memLoad
 	m.externalLoad[ctrl] += memLoad
 }
 
@@ -370,40 +420,46 @@ func (m *Machine) Exec(core int, computeSec float64, accesses []memsys.Access, d
 	var totalBytes float64
 	for r, b := range m.demand.ResBytes {
 		if b > 0 {
-			ft.resIdx = append(ft.resIdx, r)
-			if ft.bytes == nil {
-				ft.bytes = make([]float64, len(m.demand.ResBytes))
-				ft.weight = make([]float64, len(m.demand.ResBytes))
-				ft.loadW = make([]float64, len(m.demand.ResBytes))
+			if ft.pos == nil {
+				ft.pos = make([]int, len(m.demand.ResBytes))
 			}
-			ft.bytes[r] = b * jitter
+			jb := b * jitter
+			ft.res = append(ft.res, resShare{r: r, bytes: jb})
+			// Realized traffic is the jittered bytes the fluid model will
+			// actually drain; ResourceBytes above stays the pre-jitter
+			// service demand (what the scheduler asked for).
+			m.counters.RealizedBytes[r] += jb
 			totalBytes += b
 		}
 	}
-	for _, r := range ft.resIdx {
-		ft.weight[r] = m.demand.ResBytes[r] / totalBytes
+	for i := range ft.res {
+		e := &ft.res[i]
+		e.weight = m.demand.ResBytes[e.r] / totalBytes
 		// The load contribution scales the byte fraction by the pattern's
 		// queue pressure: irregular traffic congests a controller more per
 		// byte than it consumes in service share.
-		ft.loadW[r] = m.demand.ResLoad[r] / totalBytes
+		e.loadW = m.demand.ResLoad[e.r] / totalBytes
 	}
 	m.running[core] = ft
 
-	// Register the task's load, then refresh every task sharing a resource
-	// whose population changed (including the new task itself).
+	// Register the task's load, then re-rate every task sharing a resource
+	// whose population changed (including the new task itself). Under
+	// coalescing, touch defers the refresh to the end of the instant.
 	affected := m.collectAffected(ft)
-	for _, r := range ft.resIdx {
+	for i := range ft.res {
+		e := &ft.res[i]
 		if m.obsOn {
-			m.obsAccumLoad(r)
+			m.obsAccumLoad(e.r)
 		}
-		m.load[r] += ft.loadW[r]
-		m.svc[r] += ft.weight[r]
-		m.byResource[r] = append(m.byResource[r], ft)
+		m.ls[e.r].load += e.loadW
+		m.ls[e.r].svc += e.weight
+		ft.pos[e.r] = len(m.byResource[e.r])
+		m.byResource[e.r] = append(m.byResource[e.r], ft)
 	}
 	for _, t := range affected {
-		m.refresh(t)
+		m.touch(t)
 	}
-	m.refresh(ft)
+	m.touch(ft)
 }
 
 // collectAffected returns the distinct running tasks (other than ft) that
@@ -414,8 +470,8 @@ func (m *Machine) collectAffected(ft *fluidTask) []*fluidTask {
 	m.epoch++
 	ft.mark = m.epoch
 	out := m.affected[:0]
-	for _, r := range ft.resIdx {
-		for _, t := range m.byResource[r] {
+	for i := range ft.res {
+		for _, t := range m.byResource[ft.res[i].r] {
 			if t.mark != m.epoch {
 				t.mark = m.epoch
 				out = append(out, t)
@@ -440,24 +496,28 @@ func (m *Machine) collectAffected(ft *fluidTask) []*fluidTask {
 func (m *Machine) remainingTime(ft *fluidTask) float64 {
 	t := ft.compute / m.coreSpeed[ft.core]
 	var memMax, ctrlBytes float64
-	for _, r := range ft.resIdx {
-		b := ft.bytes[r]
+	for i := range ft.res {
+		e := &ft.res[i]
+		b := e.bytes
 		if b <= 0 {
 			continue
 		}
-		if m.res.IsController(memsys.ResourceID(r)) {
+		bw := m.res.LinkBW
+		if e.r < m.nCtrl {
 			ctrlBytes += b
+			bw = m.res.ControllerBW
 		}
-		w := ft.weight[r]
-		svc := m.svc[r]
+		w := e.weight
+		ls := &m.ls[e.r]
+		svc := ls.svc
 		if svc < w {
 			svc = w // numerical guard: a task is always part of the share sum
 		}
-		load := m.load[r]
-		if load < ft.loadW[r] {
-			load = ft.loadW[r]
+		load := ls.load
+		if load < e.loadW {
+			load = e.loadW
 		}
-		rate := m.res.EffectiveBandwidth(memsys.ResourceID(r), load) * w / svc
+		rate := m.res.Eff(bw, load) * w / svc
 		if mt := b / rate; mt > memMax {
 			memMax = mt
 		}
@@ -481,20 +541,99 @@ func (m *Machine) advance(ft *fluidTask, now sim.Time) {
 	}
 	keep := 1 - frac
 	ft.compute *= keep
-	for _, r := range ft.resIdx {
-		ft.bytes[r] *= keep
+	for i := range ft.res {
+		ft.res[i].bytes *= keep
 	}
 }
 
 // refresh advances a task to now under the rates that were in effect,
 // recomputes its remaining time under the new rates, and reschedules its
-// completion event.
+// completion event in place (a fresh event only for a task that has none
+// yet — its first refresh after Exec).
 func (m *Machine) refresh(ft *fluidTask) {
 	now := m.eng.Now()
 	m.advance(ft, now)
 	ft.remaining = m.remainingTime(ft)
-	ft.handle.Cancel()
-	ft.handle = m.eng.After(sim.Duration(ft.remaining), ft.completeFn)
+	ft.handle = m.eng.RescheduleOrAt(ft.handle, now+sim.Time(ft.remaining), ft.completeFn)
+}
+
+// touch re-rates a task whose resource loads just changed. With coalescing
+// off it refreshes eagerly, exactly like the pre-coalescing code. With
+// coalescing on it defers the refresh to the end of the current virtual
+// instant (FlushRefresh), so a task touched by several same-instant
+// boundaries is advanced and re-rated once — at dt=0 advance is a no-op and
+// only the rates in force when time next moves matter, so the deferral is
+// observationally equivalent.
+//
+// Two cases must stay eager even when coalescing, because their completion
+// fires within the current instant — before any flush would re-rate them:
+//   - a task whose completion event is due exactly now (a lockstep
+//     co-completion cascade): the eager path re-queues it at now with a
+//     fresh sequence number, and that requeue position is observable;
+//   - a brand-new zero-work task (no compute, no traffic), which must
+//     complete at now.
+func (m *Machine) touch(ft *fluidTask) {
+	if m.coalesce {
+		if at, ok := ft.handle.When(); ok {
+			if at > m.eng.Now() {
+				m.dirtyPush(ft)
+				return
+			}
+		} else if ft.compute > 0 || len(ft.res) > 0 {
+			m.dirtyPush(ft)
+			return
+		}
+	}
+	m.refresh(ft)
+}
+
+// dirtyPush appends ft to the dirty list tail, moving it there if already
+// listed, and arms the engine's instant-end flush.
+func (m *Machine) dirtyPush(ft *fluidTask) {
+	if ft.onDirty {
+		if m.dirtyTail == ft {
+			return
+		}
+		m.dirtyUnlink(ft)
+	}
+	ft.onDirty = true
+	ft.dirtyPrev = m.dirtyTail
+	if m.dirtyTail != nil {
+		m.dirtyTail.dirtyNext = ft
+	} else {
+		m.dirtyHead = ft
+	}
+	m.dirtyTail = ft
+	m.eng.ArmFlush()
+}
+
+func (m *Machine) dirtyUnlink(ft *fluidTask) {
+	if ft.dirtyPrev != nil {
+		ft.dirtyPrev.dirtyNext = ft.dirtyNext
+	} else {
+		m.dirtyHead = ft.dirtyNext
+	}
+	if ft.dirtyNext != nil {
+		ft.dirtyNext.dirtyPrev = ft.dirtyPrev
+	} else {
+		m.dirtyTail = ft.dirtyPrev
+	}
+	ft.dirtyPrev, ft.dirtyNext = nil, nil
+	ft.onDirty = false
+}
+
+// FlushRefresh re-rates every task on the dirty list, in last-touch order,
+// and clears the list. The engine invokes it automatically at the end of
+// each virtual instant; it is exported for direct Machine users that
+// inspect completion events between Exec and Run.
+func (m *Machine) FlushRefresh() {
+	for ft := m.dirtyHead; ft != nil; {
+		next := ft.dirtyNext
+		ft.dirtyPrev, ft.dirtyNext, ft.onDirty = nil, nil, false
+		m.refresh(ft)
+		ft = next
+	}
+	m.dirtyHead, m.dirtyTail = nil, nil
 }
 
 func (m *Machine) complete(ft *fluidTask) {
@@ -504,22 +643,25 @@ func (m *Machine) complete(ft *fluidTask) {
 		m.counters.MemorySeconds += memSec
 	}
 	m.running[ft.core] = nil
-	for _, r := range ft.resIdx {
+	for i := range ft.res {
+		e := &ft.res[i]
+		r := e.r
 		if m.obsOn {
 			m.obsAccumLoad(r)
 		}
-		m.load[r] -= ft.loadW[r]
-		m.svc[r] -= ft.weight[r]
-		if m.load[r] < m.externalLoad[r] {
-			m.load[r] = m.externalLoad[r] // float drift guard
+		ls := &m.ls[r]
+		ls.load -= e.loadW
+		ls.svc -= e.weight
+		if ls.load < m.externalLoad[r] {
+			ls.load = m.externalLoad[r] // float drift guard
 		}
-		if m.svc[r] < 0 {
-			m.svc[r] = 0
+		if ls.svc < 0 {
+			ls.svc = 0
 		}
-		m.byResource[r] = removeTask(m.byResource[r], ft)
+		m.removeFromResource(r, ft)
 	}
 	for _, t := range m.collectAffected(ft) {
-		m.refresh(t)
+		m.touch(t)
 	}
 	// Recycle before the callback so the callback can Exec on the same
 	// core immediately and reuse the slot.
@@ -530,12 +672,20 @@ func (m *Machine) complete(ft *fluidTask) {
 	}
 }
 
-func removeTask(s []*fluidTask, ft *fluidTask) []*fluidTask {
-	for i, t := range s {
-		if t == ft {
-			s[i] = s[len(s)-1]
-			return s[:len(s)-1]
-		}
+// removeFromResource unlinks ft from byResource[r] in O(1) using the
+// stored position, swap-moving the tail task into the hole exactly as the
+// old linear-scan removal did (the resulting list order — which feeds
+// collectAffected traversal order — is identical).
+func (m *Machine) removeFromResource(r int, ft *fluidTask) {
+	s := m.byResource[r]
+	i := ft.pos[r]
+	if i >= len(s) || s[i] != ft {
+		panic("machine: task position out of sync with resource list")
 	}
-	panic("machine: task not found on resource list")
+	last := len(s) - 1
+	moved := s[last]
+	s[i] = moved
+	moved.pos[r] = i
+	s[last] = nil
+	m.byResource[r] = s[:last]
 }

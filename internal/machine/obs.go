@@ -22,11 +22,11 @@ func (m *Machine) EnableObs() {
 
 // obsAccumLoad folds the load level held since the last change on resource
 // r into the integral. Must be called (under obsOn) immediately before any
-// m.load[r] mutation.
+// m.ls[r].load mutation.
 func (m *Machine) obsAccumLoad(r int) {
 	now := m.eng.Now()
 	if dt := float64(now - m.lastLoadUpd[r]); dt > 0 {
-		m.loadIntSec[r] += m.load[r] * dt
+		m.loadIntSec[r] += m.ls[r].load * dt
 		m.lastLoadUpd[r] = now
 	}
 }
@@ -42,7 +42,7 @@ func (m *Machine) ControllerBytes(node int) float64 {
 // memory controller — the same quantity whose time integral feeds the
 // mc_queue_depth gauge.
 func (m *Machine) ControllerLoad(node int) float64 {
-	return m.load[int(m.res.Controller(node))]
+	return m.ls[int(m.res.Controller(node))].load
 }
 
 // FillObs samples the machine's end-of-run state into the registry (pull,

@@ -118,11 +118,19 @@ func (rs *ResourceSet) EffectiveBandwidth(r ResourceID, w float64) float64 {
 	if w < 0 {
 		panic("memsys: negative load")
 	}
+	return rs.Eff(rs.Bandwidth(r), w)
+}
+
+// Eff applies the contention degradation to a known peak bandwidth. It is
+// the formula of EffectiveBandwidth with the resource-kind dispatch hoisted
+// out, so hot callers that already resolved bw (machine.remainingTime runs
+// this once per sharer per task boundary) get it inlined.
+func (rs *ResourceSet) Eff(bw, w float64) float64 {
 	over := w - 1
 	if over < 0 {
 		over = 0
 	}
-	return rs.Bandwidth(r) / (1 + rs.Alpha*over + rs.Beta*over*over)
+	return bw / (1 + rs.Alpha*over + rs.Beta*over*over)
 }
 
 // PerStreamRate returns the bandwidth one of n identical full-time streams

@@ -1,0 +1,64 @@
+package results
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/ilan-sched/ilan/internal/harness"
+	"github.com/ilan-sched/ilan/internal/machine"
+	"github.com/ilan-sched/ilan/internal/topology"
+	"github.com/ilan-sched/ilan/internal/workloads"
+)
+
+// TestNoCoalesceCampaignByteIdentical is the campaign-level equivalence
+// gate for instant-coalesced refresh: a full harness campaign — metrics and
+// decision tracing on, contention-heavy workload, noise enabled — must
+// serialize to the exact same bytes with coalescing on and off, under both
+// the sequential and the parallel executor. Anything the refresh rework
+// changed observably (timings, steal decisions, obs counters, decision
+// traces) would show up as a byte diff here.
+func TestNoCoalesceCampaignByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real campaign")
+	}
+	b, ok := workloads.ByName("CG")
+	if !ok {
+		t.Fatal("CG workload missing")
+	}
+	run := func(noCoalesce bool, jobs int) []byte {
+		cfg := harness.Config{
+			Class:          workloads.ClassTest,
+			Reps:           2,
+			Seed:           11,
+			Jobs:           jobs,
+			Noise:          machine.DefaultNoise(),
+			Topo:           topology.Zen4Vera(),
+			NoCoalesce:     noCoalesce,
+			TraceDecisions: true,
+		}
+		mx, err := harness.Run([]workloads.Benchmark{b},
+			[]harness.Kind{harness.KindBaseline, harness.KindILAN}, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := FromMatrix(mx, cfg, "refresh-equivalence").Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	ref := run(false, 1)
+	for _, v := range []struct {
+		name       string
+		noCoalesce bool
+		jobs       int
+	}{
+		{"no-coalesce/jobs=1", true, 1},
+		{"coalesce/jobs=8", false, 8},
+		{"no-coalesce/jobs=8", true, 8},
+	} {
+		if got := run(v.noCoalesce, v.jobs); !bytes.Equal(got, ref) {
+			t.Errorf("%s: campaign bytes differ from coalesce/jobs=1", v.name)
+		}
+	}
+}

@@ -88,9 +88,13 @@ type Scenario struct {
 	Spec  topology.Spec
 	Seed  uint64
 	Noise bool
-	Sched SchedGen
-	Loops []LoopGen
-	Steps int
+	// NoCoalesce runs the machine with instant-coalesced refresh disabled,
+	// so the fuzzers exercise both refresh paths against the same oracles
+	// (the two must be byte-identical; a divergence is a coalescing bug).
+	NoCoalesce bool
+	Sched      SchedGen
+	Loops      []LoopGen
+	Steps      int
 }
 
 // GenTopoSpec draws a random valid topology spec, deliberately covering
@@ -136,10 +140,11 @@ const numSchedKinds = int(harness.KindShepherd) + 1
 // GenScenario draws a full scenario.
 func GenScenario(src Source, seed uint64) Scenario {
 	sc := Scenario{
-		Spec:  GenTopoSpec(src),
-		Seed:  seed,
-		Noise: src.Intn(2) == 0,
-		Steps: 1 + src.Intn(3),
+		Spec:       GenTopoSpec(src),
+		Seed:       seed,
+		Noise:      src.Intn(2) == 0,
+		NoCoalesce: src.Intn(4) == 0,
+		Steps:      1 + src.Intn(3),
 	}
 	nLoops := 1 + src.Intn(3)
 	for i := 0; i < nLoops; i++ {
@@ -221,9 +226,9 @@ func (sc Scenario) SchedName() string {
 // String renders the scenario compactly for failure reports.
 func (sc Scenario) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "scenario{%dx%dx%d ccd=%d seed=%#x noise=%v sched=%s steps=%d loops=[",
+	fmt.Fprintf(&b, "scenario{%dx%dx%d ccd=%d seed=%#x noise=%v coalesce=%v sched=%s steps=%d loops=[",
 		sc.Spec.Sockets, sc.Spec.NodesPerSocket, sc.Spec.CoresPerNode, sc.Spec.CoresPerCCD,
-		sc.Seed, sc.Noise, sc.SchedName(), sc.Steps)
+		sc.Seed, sc.Noise, !sc.NoCoalesce, sc.SchedName(), sc.Steps)
 	for i, l := range sc.Loops {
 		if i > 0 {
 			b.WriteString(" ")
@@ -345,10 +350,11 @@ func (sc Scenario) runSeed(seed uint64) Result {
 		noise = machine.DefaultNoise()
 	}
 	m := machine.New(machine.Config{
-		Topo:  topology.MustNew(sc.Spec),
-		Seed:  seed,
-		Noise: noise,
-		Alpha: -1,
+		Topo:       topology.MustNew(sc.Spec),
+		Seed:       seed,
+		Noise:      noise,
+		Alpha:      -1,
+		NoCoalesce: sc.NoCoalesce,
 	})
 	m.Engine().SetLimit(eventLimit)
 	rt := taskrt.New(m, sc.scheduler(), taskrt.DefaultCosts())
