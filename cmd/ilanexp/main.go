@@ -12,15 +12,20 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 	"time"
 
+	"github.com/ilan-sched/ilan/internal/cellcache"
 	"github.com/ilan-sched/ilan/internal/chrometrace"
+	"github.com/ilan-sched/ilan/internal/fsatomic"
 	"github.com/ilan-sched/ilan/internal/harness"
 	"github.com/ilan-sched/ilan/internal/obs"
 	"github.com/ilan-sched/ilan/internal/obsserve"
@@ -28,6 +33,13 @@ import (
 	"github.com/ilan-sched/ilan/internal/topology"
 	"github.com/ilan-sched/ilan/internal/workloads"
 )
+
+// exitInterrupted is the exit code for a gracefully interrupted campaign
+// (SIGINT): dispatch stopped, in-flight units finished and were committed
+// to the cache, no -out was written. Rerunning the same command with the
+// same -cache-dir resumes from the completed units. Distinct from 1
+// (runtime failure) and 2 (flag error) so scripts can tell them apart.
+const exitInterrupted = 3
 
 func main() {
 	exp := flag.String("exp", "fig2", "experiment: fig2|fig3|fig4|table1|fig5|fig6|affinity|counters|related|oracle|all")
@@ -51,6 +63,10 @@ func main() {
 	noCoalesce := flag.Bool("no-coalesce", false, "disable instant-coalesced refresh in the fluid model (debug; outputs are byte-identical either way)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 	memprofile := flag.String("memprofile", "", "write a heap-allocation profile to this file at exit")
+	cacheOn := flag.Bool("cache", false, "memoize per-unit results in a content-addressed on-disk cache (see -cache-dir)")
+	cacheDir := flag.String("cache-dir", "", "campaign cache directory (implies -cache; default .ilan-cache)")
+	noCache := flag.Bool("no-cache", false, "disable the campaign cache even when -cache/-cache-dir is given")
+	cacheMaxMB := flag.Int("cache-max-mb", 1024, "campaign cache size cap in MiB before LRU eviction (0 = unbounded)")
 	flag.Parse()
 
 	// Flag-value errors exit with code 2 (matching flag.Parse's own
@@ -61,6 +77,10 @@ func main() {
 	}
 	if *reps < 1 {
 		fmt.Fprintf(os.Stderr, "ilanexp: -reps must be >= 1 (got %d)\n", *reps)
+		os.Exit(2)
+	}
+	if *cacheMaxMB < 0 {
+		fmt.Fprintf(os.Stderr, "ilanexp: -cache-max-mb must be >= 0 (got %d)\n", *cacheMaxMB)
 		os.Exit(2)
 	}
 
@@ -157,6 +177,46 @@ func main() {
 		benches = subset
 	}
 
+	// The campaign cache and graceful interruption are wired after every
+	// flag is validated, so a usage error never creates a cache directory.
+	// finishCache runs on every exit path that may have touched the cache
+	// (os.Exit skips defers, so the interrupted path calls it explicitly).
+	finishCache := func() {}
+	if (*cacheOn || *cacheDir != "") && !*noCache {
+		dir := *cacheDir
+		if dir == "" {
+			dir = ".ilan-cache"
+		}
+		cc, err := cellcache.Open(dir, int64(*cacheMaxMB)<<20)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ilanexp:", err)
+			os.Exit(1)
+		}
+		cfg.Cache = cc
+		finishCache = func() {
+			cc.Flush()
+			st := cc.Stats()
+			fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses, %d evictions, %d errors (%s)\n",
+				st.Hits, st.Misses, st.Evictions, st.Errors, dir)
+		}
+		defer finishCache()
+	}
+
+	// First SIGINT: stop dispatching new units, let in-flight ones finish
+	// and commit to the cache, then exit with the resume code. A second
+	// SIGINT falls back to the default handler (hard kill).
+	cancel := harness.NewCanceler()
+	cfg.Cancel = cancel
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr,
+			"ilanexp: interrupt — finishing in-flight units (press Ctrl-C again to abort hard)")
+		cancel.Cancel()
+		signal.Stop(sigc)
+	}()
+
 	if *in != "" {
 		f, err := os.Open(*in)
 		if err != nil {
@@ -192,6 +252,11 @@ func main() {
 		}
 		res, err := harness.RunOracle(benches, cfg, progress)
 		if err != nil {
+			if errors.Is(err, harness.ErrInterrupted) {
+				finishCache()
+				fmt.Fprintln(os.Stderr, "ilanexp: oracle study interrupted")
+				os.Exit(exitInterrupted)
+			}
 			fmt.Fprintln(os.Stderr, "ilanexp:", err)
 			os.Exit(1)
 		}
@@ -214,6 +279,17 @@ func main() {
 	start := time.Now()
 	mx, err := harness.Run(benches, kinds, cfg, progress)
 	if err != nil {
+		if errors.Is(err, harness.ErrInterrupted) {
+			finishCache()
+			if cfg.Cache != nil {
+				fmt.Fprintln(os.Stderr,
+					"ilanexp: campaign interrupted; completed units are cached — rerun the same command to resume")
+			} else {
+				fmt.Fprintln(os.Stderr,
+					"ilanexp: campaign interrupted (run with -cache to make interrupted campaigns resumable)")
+			}
+			os.Exit(exitInterrupted)
+		}
 		fmt.Fprintln(os.Stderr, "ilanexp:", err)
 		os.Exit(1)
 	}
@@ -232,16 +308,10 @@ func main() {
 		}
 	}
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "ilanexp:", err)
-			os.Exit(1)
-		}
-		err = results.FromMatrix(mx, cfg, *label).Write(f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
+		// Atomic write (temp + rename): a crash or SIGINT mid-encode must
+		// not clobber the previous good results file with truncated JSON.
+		file := results.FromMatrix(mx, cfg, *label)
+		if err := fsatomic.WriteFile(*out, file.Write); err != nil {
 			fmt.Fprintln(os.Stderr, "ilanexp:", err)
 			os.Exit(1)
 		}
@@ -281,13 +351,8 @@ func writePerfetto(path string, mx *harness.Matrix) error {
 	if o := cell.Samples[0].Obs; o != nil {
 		decisions = o.Decisions
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	err = chrometrace.Write(f, cell.TaskTrace(), decisions, chrometrace.Options{})
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	return err
+	// Atomic write, same rationale as -out: never leave torn trace JSON.
+	return fsatomic.WriteFile(path, func(w io.Writer) error {
+		return chrometrace.Write(w, cell.TaskTrace(), decisions, chrometrace.Options{})
+	})
 }

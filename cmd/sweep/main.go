@@ -11,19 +11,27 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
 
+	"github.com/ilan-sched/ilan/internal/cellcache"
 	"github.com/ilan-sched/ilan/internal/harness"
 	"github.com/ilan-sched/ilan/internal/machine"
 	"github.com/ilan-sched/ilan/internal/obsserve"
 	"github.com/ilan-sched/ilan/internal/topology"
 	"github.com/ilan-sched/ilan/internal/workloads"
 )
+
+// exitInterrupted matches ilanexp: a SIGINT'd sweep stops dispatching,
+// finishes in-flight units (committing them to the cache), and exits with
+// this code so a rerun of the same command resumes from the cache.
+const exitInterrupted = 3
 
 func main() {
 	bench := flag.String("bench", "CG", "benchmark to sweep")
@@ -37,6 +45,10 @@ func main() {
 	traceDecisions := flag.Bool("trace-decisions", false, "record every ILAN configuration decision (implies -metrics)")
 	serve := flag.String("serve", "", "serve live sweep progress over HTTP on this address (e.g. :8080 or 127.0.0.1:0)")
 	serveLinger := flag.Duration("serve-linger", 0, "keep the -serve monitor up this long after the sweep finishes")
+	cacheOn := flag.Bool("cache", false, "memoize per-unit results in a content-addressed on-disk cache (see -cache-dir)")
+	cacheDir := flag.String("cache-dir", "", "campaign cache directory (implies -cache; default .ilan-cache)")
+	noCache := flag.Bool("no-cache", false, "disable the campaign cache even when -cache/-cache-dir is given")
+	cacheMaxMB := flag.Int("cache-max-mb", 1024, "campaign cache size cap in MiB before LRU eviction (0 = unbounded)")
 	flag.Parse()
 
 	// Flag-value errors exit with code 2, runtime failures with 1 — the
@@ -47,6 +59,10 @@ func main() {
 	}
 	if *reps < 1 {
 		fmt.Fprintf(os.Stderr, "sweep: -reps must be >= 1 (got %d)\n", *reps)
+		os.Exit(2)
+	}
+	if *cacheMaxMB < 0 {
+		fmt.Fprintf(os.Stderr, "sweep: -cache-max-mb must be >= 0 (got %d)\n", *cacheMaxMB)
 		os.Exit(2)
 	}
 	b, ok := workloads.ByName(*bench)
@@ -106,9 +122,52 @@ func main() {
 		}
 	}
 
+	// Campaign cache: same flags and semantics as ilanexp.
+	finishCache := func() {}
+	if (*cacheOn || *cacheDir != "") && !*noCache {
+		dir := *cacheDir
+		if dir == "" {
+			dir = ".ilan-cache"
+		}
+		cc, err := cellcache.Open(dir, int64(*cacheMaxMB)<<20)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		cfg.Cache = cc
+		finishCache = func() {
+			cc.Flush()
+			st := cc.Stats()
+			fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses, %d evictions, %d errors (%s)\n",
+				st.Hits, st.Misses, st.Evictions, st.Errors, dir)
+		}
+		defer finishCache()
+	}
+
+	// Graceful SIGINT: stop dispatching, finish in-flight units, exit with
+	// the resume code; a second Ctrl-C aborts hard.
+	cancel := harness.NewCanceler()
+	cfg.Cancel = cancel
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr,
+			"sweep: interrupt — finishing in-flight units (press Ctrl-C again to abort hard)")
+		cancel.Cancel()
+		signal.Stop(sigc)
+	}()
+
+	// The progress callback now fires as each value's last unit completes
+	// (completion order), not when the point is merely enqueued.
 	points, err := harness.Sweep(b, sweepParam, values, cfg,
-		func(v float64) { fmt.Fprintf(os.Stderr, "sweeping %s = %g\n", *param, v) })
+		func(v float64) { fmt.Fprintf(os.Stderr, "%s = %g done\n", *param, v) })
 	if err != nil {
+		if errors.Is(err, harness.ErrInterrupted) {
+			finishCache()
+			fmt.Fprintln(os.Stderr, "sweep: interrupted; rerun the same command to resume from the cache")
+			os.Exit(exitInterrupted)
+		}
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}

@@ -13,8 +13,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"github.com/ilan-sched/ilan/internal/fsatomic"
 	ilansched "github.com/ilan-sched/ilan/internal/ilan"
 	"github.com/ilan-sched/ilan/internal/machine"
 	"github.com/ilan-sched/ilan/internal/sched"
@@ -98,22 +100,21 @@ func main() {
 	if *out == "" {
 		return
 	}
-	f, err := os.Create(*out)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracedump:", err)
-		os.Exit(1)
-	}
-	defer f.Close()
+	// Pick the encoder before touching the filesystem (a bad -format is a
+	// flag error, exit 2), then write atomically: a crash or SIGINT
+	// mid-encode must never leave truncated JSON under the output name or
+	// clobber a previous good trace.
+	var encode func(io.Writer) error
 	switch *format {
 	case "json":
-		err = trace.WriteJSON(f)
+		encode = trace.WriteJSON
 	case "jsonl":
-		err = trace.WriteJSONL(f)
+		encode = trace.WriteJSONL
 	default:
 		fmt.Fprintf(os.Stderr, "tracedump: unknown format %q\n", *format)
 		os.Exit(2)
 	}
-	if err != nil {
+	if err := fsatomic.WriteFile(*out, encode); err != nil {
 		fmt.Fprintln(os.Stderr, "tracedump:", err)
 		os.Exit(1)
 	}

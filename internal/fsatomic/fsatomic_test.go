@@ -1,0 +1,147 @@
+package fsatomic
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileCreatesAndReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFileBytes(path, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "first" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	if err := WriteFileBytes(path, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "second" {
+		t.Fatalf("replace: read back %q", got)
+	}
+}
+
+// A failing writer must leave the previous file contents untouched and no
+// temporary file behind — this is the torn-write regression: with a bare
+// os.Create, the old good file would already have been truncated.
+func TestWriteFileFailurePreservesOldContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFileBytes(path, []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("encoder exploded mid-stream")
+	err := WriteFile(path, func(w io.Writer) error {
+		// Partial write, then failure — simulating a crash mid-encode.
+		if _, err := w.Write([]byte(`{"version":1,"cells":[`)); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want wrapped writer error, got %v", err)
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil || string(got) != "good" {
+		t.Fatalf("old content clobbered: %q, %v", got, rerr)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func TestWriteFileNoTempLeftoverOnSuccess(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteFileBytes(filepath.Join(dir, "a"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func TestWriteFileRelativePathInCwd(t *testing.T) {
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(old)
+	if err := WriteFileBytes("bare.json", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat("bare.json"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteFileDevNull(t *testing.T) {
+	if _, err := os.Stat("/dev/null"); err != nil {
+		t.Skip("no /dev/null")
+	}
+	if err := WriteFileBytes("/dev/null", []byte("discard")); err != nil {
+		t.Fatal(err)
+	}
+	// /dev/null must still be a device, not a regular file we renamed over.
+	info, err := os.Stat("/dev/null")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().IsRegular() {
+		t.Fatal("/dev/null was replaced by a regular file")
+	}
+}
+
+func TestWriteFileMissingDirFails(t *testing.T) {
+	err := WriteFileBytes(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), []byte("x"))
+	if err == nil {
+		t.Fatal("write into missing directory succeeded")
+	}
+}
+
+func TestWriteFilePermissions(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "perm")
+	if err := WriteFileBytes(path, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm()&0o400 == 0 {
+		t.Fatalf("file not readable: %v", info.Mode())
+	}
+}
+
+func assertNoTempFiles(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+}
+
+func ExampleWriteFile() {
+	dir, _ := os.MkdirTemp("", "fsatomic")
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "report.txt")
+	_ = WriteFile(path, func(w io.Writer) error {
+		_, err := fmt.Fprintln(w, "42 units")
+		return err
+	})
+	data, _ := os.ReadFile(path)
+	fmt.Print(string(data))
+	// Output: 42 units
+}

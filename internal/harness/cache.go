@@ -1,0 +1,161 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+
+	"github.com/ilan-sched/ilan/internal/cellcache"
+	"github.com/ilan-sched/ilan/internal/machine"
+	"github.com/ilan-sched/ilan/internal/topology"
+	"github.com/ilan-sched/ilan/internal/workloads"
+)
+
+// The campaign cache key contract (DESIGN.md §13).
+//
+// A unit — one (benchmark, scheduler, rep) simulation — is a pure function
+// of the inputs below; PRs 1–6 pinned that purity with determinism gates
+// (jobs=1 ≡ jobs=8, coalesce on ≡ off, serve on ≡ off). The key is the
+// SHA-256 of the canonical JSON of those inputs, so two invocations share
+// an entry exactly when the simulation they would run is byte-identical.
+//
+// Included (any change must change the result, so it changes the key):
+//   - the simulator/code fingerprint (bumped when the model changes),
+//   - benchmark name and workload class (the workload model + parameters),
+//   - scheduler kind (kind fully determines the scheduler construction,
+//     including its ILAN option set — see NewScheduler),
+//   - the repetition index and base seed (they derive the machine seed),
+//   - noise model, topology spec, disturbance injection,
+//   - machine-model overrides (bandwidths, alpha, beta),
+//   - observability settings that change the stored payload (Metrics,
+//     TraceDecisions, DecisionCap, and TraceTasks for rep 0).
+//
+// Normalized out (proven output-neutral, so runs share entries across
+// them): Reps (the rep index, not the campaign width, feeds the seed),
+// Jobs (§7 determinism gate), NoCoalesce (§12 equivalence gate), Track
+// (read-only telemetry), Cache and Cancel (the cache never feeds back).
+// TestCacheKeyClassifiesEveryConfigField forces every new Config field to
+// be classified into one of the two lists.
+
+// simFingerprint identifies the simulator + machine-model code generation.
+// Bump it whenever a change alters any campaign output byte (timings,
+// metrics, traces): old cache entries then miss instead of serving stale
+// results. Tests override it to prove fingerprint skew invalidates keys.
+var simFingerprint = "ilan-sim-v8-zen4-fluid-coalesced"
+
+// cacheKeyInputs is the canonical, JSON-marshaled form of a unit's
+// identity. Field order is fixed by the struct, map-free, so the encoding
+// is byte-deterministic.
+type cacheKeyInputs struct {
+	Fingerprint  string              `json:"fingerprint"`
+	EntryVersion int                 `json:"entryVersion"`
+	Bench        string              `json:"bench"`
+	Class        string              `json:"class"`
+	Kind         string              `json:"kind"`
+	Rep          int                 `json:"rep"`
+	Seed         uint64              `json:"seed"`
+	Noise        machine.NoiseConfig `json:"noise"`
+	Topo         topology.Spec       `json:"topo"`
+	Disturb      *Disturb            `json:"disturb"`
+	ControllerBW float64             `json:"controllerBW"`
+	LinkBW       float64             `json:"linkBW"`
+	CoreStreamBW float64             `json:"coreStreamBW"`
+	Alpha        *float64            `json:"alpha"`
+	Beta         *float64            `json:"beta"`
+	Metrics      bool                `json:"metrics"`
+	TraceDecs    bool                `json:"traceDecisions"`
+	DecisionCap  int                 `json:"decisionCap"`
+	TraceTasks   bool                `json:"traceTasks"`
+}
+
+// cacheKeyFor computes the unit's content address. The zero-value
+// topology normalizes to the default the run would actually use, so
+// cfg.Topo == Spec{} and cfg.Topo == Zen4Vera() share entries (they run
+// the same machine). TraceTasks only affects repetition 0 (harness only
+// records rep 0's trace), so it is normalized to false for other reps.
+func cacheKeyFor(b workloads.Benchmark, k Kind, cfg Config, rep int) string {
+	topoSpec := cfg.Topo
+	if topoSpec.Sockets == 0 {
+		topoSpec = topology.Zen4Vera()
+	}
+	in := cacheKeyInputs{
+		Fingerprint:  simFingerprint,
+		EntryVersion: cellcache.Version,
+		Bench:        b.Name,
+		Class:        cfg.Class.String(),
+		Kind:         k.String(),
+		Rep:          rep,
+		Seed:         cfg.Seed,
+		Noise:        cfg.Noise,
+		Topo:         topoSpec,
+		Disturb:      cfg.Disturb,
+		ControllerBW: cfg.ControllerBW,
+		LinkBW:       cfg.LinkBW,
+		CoreStreamBW: cfg.CoreStreamBW,
+		Alpha:        cfg.Alpha,
+		Beta:         cfg.Beta,
+		Metrics:      cfg.Metrics,
+		TraceDecs:    cfg.TraceDecisions,
+		DecisionCap:  cfg.DecisionCap,
+		TraceTasks:   cfg.TraceTasks && rep == 0,
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		// Every field is a plain value; Marshal cannot fail unless a
+		// float override is NaN/Inf — then no stable key exists, so
+		// return an invalid one (the cache rejects it; the unit runs
+		// uncached).
+		return ""
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// encodeSample serializes a unit result for the cache. RunSample (with its
+// obs snapshot and rep-0 task trace) round-trips losslessly through JSON:
+// Go prints floats in the shortest form that parses back exactly, and the
+// results writer re-encodes through the same marshaler, so a campaign
+// assembled from cached units is byte-identical to a cold run.
+func encodeSample(s RunSample) ([]byte, error) {
+	return json.Marshal(s)
+}
+
+// decodeSample parses a cached unit result.
+func decodeSample(data []byte) (RunSample, error) {
+	var s RunSample
+	err := json.Unmarshal(data, &s)
+	return s, err
+}
+
+// cacheGet returns the cached sample for a unit, if a sound one exists.
+func cacheGet(c *cellcache.Cache, key string) (RunSample, bool) {
+	if c == nil || key == "" {
+		return RunSample{}, false
+	}
+	data, ok := c.Get(key)
+	if !ok {
+		return RunSample{}, false
+	}
+	s, err := decodeSample(data)
+	if err != nil {
+		// The envelope was sound but the payload does not decode into
+		// this build's RunSample — treat as corrupt: drop and recompute.
+		c.Discard(key)
+		return RunSample{}, false
+	}
+	return s, true
+}
+
+// cachePut commits a freshly computed unit result. Failures are swallowed
+// (the cache is an accelerator, never a correctness dependency); they are
+// visible in the cache's error counter.
+func cachePut(c *cellcache.Cache, key string, s RunSample) {
+	if c == nil || key == "" {
+		return
+	}
+	data, err := encodeSample(s)
+	if err != nil {
+		return
+	}
+	_ = c.Put(key, data)
+}

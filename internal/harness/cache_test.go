@@ -1,0 +1,337 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"testing"
+
+	"github.com/ilan-sched/ilan/internal/cellcache"
+	"github.com/ilan-sched/ilan/internal/topology"
+	"github.com/ilan-sched/ilan/internal/workloads"
+)
+
+// keyUnit is one concrete (bench, kind, cfg, rep) whose key we perturb.
+type keyUnit struct {
+	bench workloads.Benchmark
+	kind  Kind
+	cfg   Config
+	rep   int
+}
+
+func baseUnit(t *testing.T) keyUnit {
+	t.Helper()
+	return keyUnit{bench: mustBench(t, "CG"), kind: KindBaseline, cfg: testConfig(), rep: 0}
+}
+
+func (u keyUnit) key() string { return cacheKeyFor(u.bench, u.kind, u.cfg, u.rep) }
+
+func TestCacheKeyIsStableHex(t *testing.T) {
+	u := baseUnit(t)
+	k1, k2 := u.key(), u.key()
+	if k1 != k2 {
+		t.Fatalf("same inputs, different keys: %s vs %s", k1, k2)
+	}
+	if !regexp.MustCompile(`^[0-9a-f]{64}$`).MatchString(k1) {
+		t.Fatalf("key is not 64 hex chars: %q", k1)
+	}
+}
+
+// TestCacheKeyPerturbation is the key contract table: every input that can
+// change a unit's result must change its key, and every setting proven
+// output-neutral by the determinism gates must NOT (so reruns with a
+// different -jobs or -reps still hit).
+func TestCacheKeyPerturbation(t *testing.T) {
+	alpha, beta := 0.02, 0.001
+	mustChange := map[string]func(*keyUnit){
+		"bench":               func(u *keyUnit) { u.bench = mustBench(t, "Matmul") },
+		"kind":                func(u *keyUnit) { u.kind = KindILAN },
+		"rep":                 func(u *keyUnit) { u.rep = 1 },
+		"seed":                func(u *keyUnit) { u.cfg.Seed++ },
+		"class":               func(u *keyUnit) { u.cfg.Class = workloads.ClassPaper },
+		"noise":               func(u *keyUnit) { u.cfg.Noise.Enabled = true },
+		"topo":                func(u *keyUnit) { u.cfg.Topo = topology.Zen4Vera() },
+		"disturb":             func(u *keyUnit) { u.cfg.Disturb = &Disturb{Node: 1} },
+		"disturb-node":        func(u *keyUnit) { u.cfg.Disturb = &Disturb{Node: 2} },
+		"controller-bw":       func(u *keyUnit) { u.cfg.ControllerBW = 30e9 },
+		"link-bw":             func(u *keyUnit) { u.cfg.LinkBW = 20e9 },
+		"core-bw":             func(u *keyUnit) { u.cfg.CoreStreamBW = 25e9 },
+		"alpha":               func(u *keyUnit) { u.cfg.Alpha = &alpha },
+		"beta":                func(u *keyUnit) { u.cfg.Beta = &beta },
+		"metrics":             func(u *keyUnit) { u.cfg.Metrics = true },
+		"trace-decisions":     func(u *keyUnit) { u.cfg.TraceDecisions = true },
+		"decision-cap":        func(u *keyUnit) { u.cfg.DecisionCap = 512 },
+		"trace-tasks (rep 0)": func(u *keyUnit) { u.cfg.TraceTasks = true },
+	}
+	mustNotChange := map[string]func(*keyUnit){
+		"jobs":                func(u *keyUnit) { u.cfg.Jobs = 8 },
+		"reps":                func(u *keyUnit) { u.cfg.Reps = 30 },
+		"no-coalesce":         func(u *keyUnit) { u.cfg.NoCoalesce = true },
+		"tracker":             func(u *keyUnit) { u.cfg.Track = NewTracker() },
+		"canceler":            func(u *keyUnit) { u.cfg.Cancel = NewCanceler() },
+		"trace-tasks (rep 1)": func(u *keyUnit) { u.rep = 1; u.cfg.TraceTasks = true },
+	}
+
+	base := baseUnit(t).key()
+	for name, mut := range mustChange {
+		u := baseUnit(t)
+		mut(&u)
+		if u.key() == base {
+			t.Errorf("perturbing %s did not change the cache key", name)
+		}
+	}
+	// trace-tasks (rep 1) compares against a rep-1 base.
+	rep1 := baseUnit(t)
+	rep1.rep = 1
+	rep1Base := rep1.key()
+	for name, mut := range mustNotChange {
+		u := baseUnit(t)
+		mut(&u)
+		want := base
+		if u.rep == 1 {
+			want = rep1Base
+		}
+		if u.key() != want {
+			t.Errorf("output-neutral setting %s changed the cache key", name)
+		}
+	}
+
+	// The cache handle itself must be key-neutral (it never feeds back).
+	u := baseUnit(t)
+	cc, err := cellcache.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.cfg.Cache = cc
+	if u.key() != base {
+		t.Error("attaching a cache changed the cache key")
+	}
+}
+
+func TestCacheKeyFingerprintSkewInvalidates(t *testing.T) {
+	u := baseUnit(t)
+	base := u.key()
+	old := simFingerprint
+	defer func() { simFingerprint = old }()
+	simFingerprint = "ilan-sim-v999-test-skew"
+	if u.key() == base {
+		t.Fatal("fingerprint bump did not change the cache key")
+	}
+}
+
+// A zero topology spec runs on the Zen4Vera default, so both spellings of
+// the same machine must share cache entries.
+func TestCacheKeyZeroTopoNormalized(t *testing.T) {
+	a := baseUnit(t)
+	a.cfg.Topo = topology.Spec{}
+	b := baseUnit(t)
+	b.cfg.Topo = topology.Zen4Vera()
+	if a.key() != b.key() {
+		t.Fatal("zero topo and explicit Zen4Vera produced different keys")
+	}
+}
+
+// TestCacheKeyClassifiesEveryConfigField forces every Config field into the
+// key contract: it must be listed as key-bearing (cache.go includes it) or
+// normalized-out (proven output-neutral). Adding a Config field without
+// classifying it here fails the build's tests — the failure mode this
+// prevents is a new result-changing knob silently sharing cache entries.
+func TestCacheKeyClassifiesEveryConfigField(t *testing.T) {
+	keyBearing := map[string]bool{
+		"Class": true, "Seed": true, "Noise": true, "Topo": true,
+		"Disturb": true, "ControllerBW": true, "LinkBW": true,
+		"CoreStreamBW": true, "Alpha": true, "Beta": true, "Metrics": true,
+		"TraceDecisions": true, "DecisionCap": true, "TraceTasks": true,
+	}
+	normalizedOut := map[string]bool{
+		"Reps": true, "Jobs": true, "NoCoalesce": true, "Track": true,
+		"Cache": true, "Cancel": true,
+	}
+	typ := reflect.TypeOf(Config{})
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		switch {
+		case keyBearing[name] && normalizedOut[name]:
+			t.Errorf("Config.%s classified as both key-bearing and normalized-out", name)
+		case !keyBearing[name] && !normalizedOut[name]:
+			t.Errorf("Config.%s is not classified in the cache-key contract: "+
+				"add it to cacheKeyInputs (if it can change a unit's result) or "+
+				"to the normalized-out list here (if proven output-neutral), "+
+				"and update the contract comment in cache.go", name)
+		}
+	}
+	// And the reverse: the lists must not drift ahead of the struct.
+	fields := map[string]bool{}
+	for i := 0; i < typ.NumField(); i++ {
+		fields[typ.Field(i).Name] = true
+	}
+	for name := range keyBearing {
+		if !fields[name] {
+			t.Errorf("key-bearing list names nonexistent Config field %s", name)
+		}
+	}
+	for name := range normalizedOut {
+		if !fields[name] {
+			t.Errorf("normalized-out list names nonexistent Config field %s", name)
+		}
+	}
+}
+
+func openTestCache(t *testing.T) *cellcache.Cache {
+	t.Helper()
+	cc, err := cellcache.Open(filepath.Join(t.TempDir(), "cache"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cc
+}
+
+// TestRunOneCacheRoundTrip: a warm RunOne must return the exact sample the
+// cold run computed — including the obs snapshot and rep-0 task trace — and
+// count one miss then one hit.
+func TestRunOneCacheRoundTrip(t *testing.T) {
+	b := mustBench(t, "Matmul")
+	cfg := testConfig()
+	cfg.Metrics = true
+	cfg.TraceDecisions = true
+	cfg.TraceTasks = true
+	cfg.Cache = openTestCache(t)
+
+	cold, err := RunOne(b, KindILAN, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := RunOne(b, KindILAN, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cfg.Cache.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("stats = %+v, want 1 miss + 1 hit", st)
+	}
+	ce, _ := encodeSample(cold)
+	we, _ := encodeSample(warm)
+	if string(ce) != string(we) {
+		t.Fatalf("warm sample not byte-identical:\ncold: %s\nwarm: %s", ce, we)
+	}
+	// And both must match an uncached run of the same unit.
+	plain := cfg
+	plain.Cache = nil
+	ref, err := RunOne(b, KindILAN, plain, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, _ := encodeSample(ref)
+	if string(ce) != string(re) {
+		t.Fatal("cached sample differs from an uncached run")
+	}
+}
+
+// Corrupting every object on disk must turn hits back into misses and
+// recomputes — never a crash, never a wrong result.
+func TestRunOneCorruptEntryRecomputes(t *testing.T) {
+	b := mustBench(t, "CG")
+	cfg := testConfig()
+	cfg.Cache = openTestCache(t)
+	cold, err := RunOne(b, KindBaseline, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objects := filepath.Join(cfg.Cache.Dir(), "objects")
+	var corrupted int
+	err = filepath.Walk(objects, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		corrupted++
+		return os.WriteFile(path, []byte(`{"version":1,"key":"tampered`), 0o644)
+	})
+	if err != nil || corrupted == 0 {
+		t.Fatalf("corrupted %d objects, err %v", corrupted, err)
+	}
+	again, err := RunOne(b, KindBaseline, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != cold {
+		t.Fatalf("recomputed sample diverged: %+v vs %+v", again, cold)
+	}
+	st := cfg.Cache.Stats()
+	if st.Hits != 0 {
+		t.Fatalf("corrupt entry served as a hit: %+v", st)
+	}
+	if st.Errors == 0 {
+		t.Fatalf("corruption not counted as an error: %+v", st)
+	}
+	// The recompute recommitted the entry; a third run hits again.
+	if _, err := RunOne(b, KindBaseline, cfg, 0); err != nil {
+		t.Fatal(err)
+	}
+	if st := cfg.Cache.Stats(); st.Hits != 1 {
+		t.Fatalf("recomputed entry not recommitted: %+v", st)
+	}
+}
+
+// TestRunCampaignCacheConcurrent exercises the cache under a parallel pool
+// (run with -race in CI): a cold 8-way campaign fills it, a warm 8-way
+// campaign must be all hits and sample-identical.
+func TestRunCampaignCacheConcurrent(t *testing.T) {
+	benches := []workloads.Benchmark{mustBench(t, "CG"), mustBench(t, "Matmul")}
+	kinds := []Kind{KindBaseline, KindILAN}
+	cfg := testConfig()
+	cfg.Reps = 3
+	cfg.Jobs = 8
+	cfg.Cache = openTestCache(t)
+
+	cold, err := Run(benches, kinds, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units := int64(len(benches) * len(kinds) * cfg.Reps)
+	if st := cfg.Cache.Stats(); st.Misses != units || st.Hits != 0 {
+		t.Fatalf("cold stats = %+v, want %d misses", st, units)
+	}
+	warm, err := Run(benches, kinds, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := cfg.Cache.Stats(); st.Hits != units {
+		t.Fatalf("warm stats = %+v, want %d hits", st, units)
+	}
+	cold.EachCell(func(c *Cell) {
+		w := warm.Cell(c.Bench, c.Kind)
+		for r := range c.Samples {
+			if c.Samples[r] != w.Samples[r] {
+				t.Fatalf("%s/%v rep %d diverged between cold and warm", c.Bench, c.Kind, r)
+			}
+		}
+	})
+}
+
+// A tracker attached to a cached campaign must expose the cache counters in
+// its snapshots (the live monitor and /metrics read them from there).
+func TestTrackerSnapshotCarriesCacheStats(t *testing.T) {
+	b := mustBench(t, "Matmul")
+	cfg := testConfig()
+	cfg.Reps = 1
+	cfg.Cache = openTestCache(t)
+	cfg.Track = NewTracker()
+	if _, err := RunCell(b, KindILAN, cfg); err != nil {
+		t.Fatal(err)
+	}
+	snap := cfg.Track.Snapshot()
+	if snap.Cache == nil {
+		t.Fatal("snapshot has no cache stats despite an attached cache")
+	}
+	if snap.Cache.Misses != 1 {
+		t.Fatalf("snapshot cache stats = %+v, want 1 miss", snap.Cache)
+	}
+	// Without a cache the field stays absent, keeping old snapshot JSON
+	// byte-identical.
+	plain := NewTracker()
+	plain.Begin("x", nil)
+	if got := plain.Snapshot().Cache; got != nil {
+		t.Fatalf("cache stats present without a cache: %+v", got)
+	}
+}

@@ -7,6 +7,7 @@ package harness
 import (
 	"fmt"
 
+	"github.com/ilan-sched/ilan/internal/cellcache"
 	"github.com/ilan-sched/ilan/internal/ilan"
 	"github.com/ilan-sched/ilan/internal/machine"
 	"github.com/ilan-sched/ilan/internal/obs"
@@ -139,6 +140,16 @@ type Config struct {
 	// tracker is read-only telemetry — attaching one changes no campaign
 	// output byte (see progress.go).
 	Track *Tracker
+	// Cache, when non-nil, memoizes per-unit results content-addressed by
+	// the inputs that determine them (see cache.go and DESIGN.md §13). A
+	// campaign assembled from cache hits is byte-identical to a cold run;
+	// the cache never feeds back into the simulation.
+	Cache *cellcache.Cache
+	// Cancel, when non-nil, allows graceful interruption: after Cancel()
+	// the pool dispatches no new units, in-flight units finish (and commit
+	// to the cache), and the campaign returns ErrInterrupted. Rerunning
+	// the same configuration with the same cache resumes by cache hit.
+	Cancel *Canceler
 }
 
 // obsEnabled reports whether runs should carry an obs collector.
@@ -236,7 +247,29 @@ func (c *Cell) MeanThreads() float64 {
 // RunOne executes one repetition of a benchmark under a scheduler kind on a
 // fresh machine and returns its sample. Seeds are per-repetition, not
 // per-scheduler, so schedulers face identical noise in a given repetition.
+//
+// With cfg.Cache attached, the unit is first looked up by its content
+// address (cache.go); a hit replays the stored sample — byte-identical to
+// recomputing it — and a miss runs the simulation and commits the result
+// before returning, so an interrupted campaign's completed units survive
+// for the resuming run.
 func RunOne(b workloads.Benchmark, k Kind, cfg Config, rep int) (RunSample, error) {
+	if cfg.Cache == nil {
+		return runOneUncached(b, k, cfg, rep)
+	}
+	key := cacheKeyFor(b, k, cfg, rep)
+	if s, ok := cacheGet(cfg.Cache, key); ok {
+		return s, nil
+	}
+	s, err := runOneUncached(b, k, cfg, rep)
+	if err == nil {
+		cachePut(cfg.Cache, key, s)
+	}
+	return s, err
+}
+
+// runOneUncached is the raw simulation path behind RunOne.
+func runOneUncached(b workloads.Benchmark, k Kind, cfg Config, rep int) (RunSample, error) {
 	topoSpec := cfg.Topo
 	if topoSpec.Sockets == 0 {
 		topoSpec = topology.Zen4Vera()
@@ -311,8 +344,9 @@ func RunOne(b workloads.Benchmark, k Kind, cfg Config, rep int) (RunSample, erro
 func RunCell(b workloads.Benchmark, k Kind, cfg Config) (*Cell, error) {
 	cfg.Track.Begin(b.Name+"/"+k.String(),
 		[]CellDecl{{Name: b.Name + "/" + k.String(), Units: cfg.Reps}})
+	cfg.Track.AttachCache(cfg.Cache)
 	c := &Cell{Bench: b.Name, Kind: k, Samples: make([]RunSample, cfg.Reps)}
-	err := ForEach(cfg.Jobs, cfg.Reps, func(rep int) error {
+	err := ForEachCancel(cfg.Jobs, cfg.Reps, cfg.Cancel, func(rep int) error {
 		s, err := RunOne(b, k, cfg, rep)
 		cfg.Track.UnitDone(0, rep, s.Obs, err)
 		if err != nil {
@@ -368,7 +402,8 @@ func Run(benches []workloads.Benchmark, kinds []Kind, cfg Config,
 		}
 	}
 	cfg.Track.Begin("campaign", decls)
-	err := ForEach(cfg.Jobs, len(units), func(i int) error {
+	cfg.Track.AttachCache(cfg.Cache)
+	err := ForEachCancel(cfg.Jobs, len(units), cfg.Cancel, func(i int) error {
 		u := units[i]
 		s, err := RunOne(u.bench, u.kind, cfg, u.rep)
 		cfg.Track.UnitDone(u.track, u.rep, s.Obs, err)

@@ -102,7 +102,7 @@ func RunOracle(benches []workloads.Benchmark, cfg Config,
 			}
 			times[pi] = make([]float64, cfg.Reps)
 		}
-		err := ForEach(cfg.Jobs, len(pts)*cfg.Reps, func(i int) error {
+		err := ForEachCancel(cfg.Jobs, len(pts)*cfg.Reps, cfg.Cancel, func(i int) error {
 			pi, rep := i/cfg.Reps, i%cfg.Reps
 			sec, err := runFixedOnce(b, pts[pi].threads, pts[pi].full, cfg, rep)
 			if err != nil {

@@ -1,10 +1,12 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 )
 
 // The parallel experiment executor.
@@ -35,6 +37,35 @@ func DefaultJobs(jobs int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// ErrInterrupted reports a campaign stopped by a Canceler before every
+// unit ran: dispatch stopped, in-flight units finished (and, with a cache
+// attached, committed their results), and no aggregate output was
+// produced. CLIs map it to a distinct exit code so scripts can tell
+// "interrupted, rerun to resume" from a real failure.
+var ErrInterrupted = errors.New("harness: campaign interrupted")
+
+// Canceler requests a graceful campaign stop: the pool dispatches no new
+// units after Cancel, in-flight units run to completion, and the campaign
+// returns ErrInterrupted. A nil *Canceler never cancels, so the zero
+// Config needs no branches. Safe for concurrent use (typically Cancel is
+// called from a signal-handler goroutine).
+type Canceler struct {
+	stop atomic.Bool
+}
+
+// NewCanceler returns an un-cancelled Canceler.
+func NewCanceler() *Canceler { return &Canceler{} }
+
+// Cancel requests the stop. Idempotent.
+func (c *Canceler) Cancel() {
+	if c != nil {
+		c.stop.Store(true)
+	}
+}
+
+// Cancelled reports whether Cancel was called. Nil-safe.
+func (c *Canceler) Cancelled() bool { return c != nil && c.stop.Load() }
+
 // ForEach runs fn(0), ..., fn(n-1) across up to jobs worker goroutines
 // (jobs < 1 selects GOMAXPROCS) and returns the error of the
 // lowest-numbered failing call, or nil. A panic inside fn is recovered and
@@ -43,6 +74,15 @@ func DefaultJobs(jobs int) int {
 // but already-started ones run to completion, so the returned error is
 // deterministic whenever fn is deterministic per index.
 func ForEach(jobs, n int, fn func(i int) error) error {
+	return ForEachCancel(jobs, n, nil, fn)
+}
+
+// ForEachCancel is ForEach with graceful interruption: once cancel fires,
+// no new indices are dispatched, already-started calls run to completion,
+// and the result is ErrInterrupted — unless some call also failed, in
+// which case the lowest-numbered call error wins (it is the more
+// informative outcome, and it is what a sequential run would report).
+func ForEachCancel(jobs, n int, cancel *Canceler, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -52,6 +92,9 @@ func ForEach(jobs, n int, fn func(i int) error) error {
 	}
 	if jobs == 1 {
 		for i := 0; i < n; i++ {
+			if cancel.Cancelled() {
+				return ErrInterrupted
+			}
 			if err := runSafe(fn, i); err != nil {
 				return err
 			}
@@ -80,11 +123,16 @@ func ForEach(jobs, n int, fn func(i int) error) error {
 			}
 		}()
 	}
+	interrupted := false
 	for i := 0; i < n; i++ {
 		mu.Lock()
 		stop := failed
 		mu.Unlock()
 		if stop {
+			break
+		}
+		if cancel.Cancelled() {
+			interrupted = true
 			break
 		}
 		idx <- i
@@ -95,6 +143,9 @@ func ForEach(jobs, n int, fn func(i int) error) error {
 		if err != nil {
 			return err
 		}
+	}
+	if interrupted {
+		return ErrInterrupted
 	}
 	return nil
 }

@@ -9,6 +9,9 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"github.com/ilan-sched/ilan/internal/cellcache"
+	"github.com/ilan-sched/ilan/internal/machine"
+	"github.com/ilan-sched/ilan/internal/taskrt"
 	"github.com/ilan-sched/ilan/internal/workloads"
 )
 
@@ -112,6 +115,151 @@ func TestDefaultJobsResolution(t *testing.T) {
 	if DefaultJobs(0) < 1 || DefaultJobs(-1) < 1 {
 		t.Fatal("defaulted jobs below 1")
 	}
+}
+
+func TestForEachCancelPreCancelled(t *testing.T) {
+	t.Parallel()
+	c := NewCanceler()
+	c.Cancel()
+	for _, jobs := range []int{1, 4} {
+		var ran atomic.Int64
+		err := ForEachCancel(jobs, 50, c, func(int) error {
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, ErrInterrupted) {
+			t.Fatalf("jobs=%d: got %v, want ErrInterrupted", jobs, err)
+		}
+		if n := ran.Load(); n != 0 {
+			t.Fatalf("jobs=%d: %d units dispatched after pre-cancel", jobs, n)
+		}
+	}
+}
+
+// Cancelling mid-campaign must stop dispatch but let every started unit
+// finish — the property the cache's resume story relies on (an in-flight
+// unit's result is committed, never torn).
+func TestForEachCancelStopsDispatchFinishesInFlight(t *testing.T) {
+	t.Parallel()
+	for _, jobs := range []int{1, 4} {
+		c := NewCanceler()
+		var started, finished atomic.Int64
+		err := ForEachCancel(jobs, 1000, c, func(i int) error {
+			started.Add(1)
+			if i == 0 {
+				c.Cancel()
+			}
+			finished.Add(1)
+			return nil
+		})
+		if !errors.Is(err, ErrInterrupted) {
+			t.Fatalf("jobs=%d: got %v, want ErrInterrupted", jobs, err)
+		}
+		if s, f := started.Load(), finished.Load(); s != f {
+			t.Fatalf("jobs=%d: %d units started but only %d finished", jobs, s, f)
+		}
+		if n := started.Load(); n > int64(100) {
+			t.Fatalf("jobs=%d: %d of 1000 units dispatched after cancel", jobs, n)
+		}
+	}
+}
+
+// A real unit failure is more informative than the interruption it races
+// with: the unit error must win.
+func TestForEachCancelUnitErrorWins(t *testing.T) {
+	t.Parallel()
+	boom := errors.New("unit exploded")
+	for _, jobs := range []int{1, 4} {
+		c := NewCanceler()
+		err := ForEachCancel(jobs, 100, c, func(i int) error {
+			if i == 0 {
+				c.Cancel()
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("jobs=%d: got %v, want the unit error", jobs, err)
+		}
+	}
+}
+
+func TestCancelerNilSafe(t *testing.T) {
+	t.Parallel()
+	var c *Canceler
+	c.Cancel() // must not panic
+	if c.Cancelled() {
+		t.Fatal("nil canceler reports cancelled")
+	}
+	live := NewCanceler()
+	if live.Cancelled() {
+		t.Fatal("fresh canceler reports cancelled")
+	}
+	live.Cancel()
+	live.Cancel() // idempotent
+	if !live.Cancelled() {
+		t.Fatal("cancel lost")
+	}
+}
+
+// Interrupting a campaign at the Run level surfaces ErrInterrupted, and a
+// rerun against the same cache completes from the committed units.
+func TestRunInterruptedThenResumes(t *testing.T) {
+	t.Parallel()
+	benches := []workloads.Benchmark{mustBench(t, "CG"), mustBench(t, "Matmul")}
+	kinds := []Kind{KindBaseline, KindILAN}
+
+	ref := testConfig()
+	ref.Jobs = 1
+	want, err := Run(benches, kinds, ref, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cc, err := cellcache.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ref
+	cfg.Cache = cc
+	cfg.Cancel = NewCanceler()
+	// Cancel from inside the first unit's program build — the SIGINT-
+	// mid-unit shape: with Jobs=1 that unit still runs to completion and
+	// commits, then the pool refuses to dispatch the next one. The wrapped
+	// benchmark keeps its name, so its cache entries are the real CG's.
+	interruptible := benches[0]
+	realBuild := interruptible.Build
+	interruptible.Build = func(m *machine.Machine, cls workloads.Class) *taskrt.Program {
+		cfg.Cancel.Cancel()
+		return realBuild(m, cls)
+	}
+	_, err = Run([]workloads.Benchmark{interruptible, benches[1]}, kinds, cfg, nil)
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("got %v, want ErrInterrupted", err)
+	}
+	committed := cc.Len()
+	if committed == 0 {
+		t.Fatal("interrupted campaign committed nothing to the cache")
+	}
+
+	// Resume: same config, fresh canceler. The committed units hit.
+	cfg.Cancel = NewCanceler()
+	got, err := Run(benches, kinds, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := cc.Stats(); st.Hits < int64(committed) {
+		t.Fatalf("resume hit %d entries, want at least the %d committed", st.Hits, committed)
+	}
+	want.EachCell(func(c *Cell) {
+		g := got.Cell(c.Bench, c.Kind)
+		for r := range c.Samples {
+			if c.Samples[r] != g.Samples[r] {
+				t.Fatalf("%s/%v rep %d: resumed run diverged from uninterrupted reference",
+					c.Bench, c.Kind, r)
+			}
+		}
+	})
 }
 
 // TestRunParallelMatchesSequential is the executor's determinism contract:

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/ilan-sched/ilan/internal/cellcache"
 	"github.com/ilan-sched/ilan/internal/obs"
 )
 
@@ -40,6 +41,11 @@ type Tracker struct {
 
 	finished atomic.Bool
 	errMsg   atomic.Pointer[string]
+
+	// cache, when attached, contributes hit/miss/eviction counters to
+	// progress snapshots and the /metrics export. Like everything else
+	// here it is read-only telemetry.
+	cache atomic.Pointer[cellcache.Cache]
 
 	mu      sync.Mutex
 	snaps   []*obs.Snapshot
@@ -99,6 +105,16 @@ func (t *Tracker) Begin(label string, cells []CellDecl) {
 	t.snaps = nil
 	t.mu.Unlock()
 	t.hdr.Store(h)
+}
+
+// AttachCache wires a campaign cache's counters into progress snapshots
+// (nil detaches). The campaign entry points call it right after Begin, so
+// a live monitor sees hits/misses/evictions advance as units complete.
+func (t *Tracker) AttachCache(c *cellcache.Cache) {
+	if t == nil {
+		return
+	}
+	t.cache.Store(c)
 }
 
 // UnitDone publishes one finished repetition of the given cell. snap may
@@ -214,7 +230,10 @@ type ProgressSnapshot struct {
 	ETASec   float64        `json:"eta_sec"`
 	Finished bool           `json:"finished"`
 	Err      string         `json:"error,omitempty"`
-	Cells    []CellProgress `json:"cells"`
+	// Cache carries the campaign cache's counters (nil when the campaign
+	// runs uncached).
+	Cache *cellcache.Stats `json:"cache,omitempty"`
+	Cells []CellProgress   `json:"cells"`
 }
 
 // CellProgress is one cell's repetition counts.
@@ -247,6 +266,10 @@ func (t *Tracker) Snapshot() ProgressSnapshot {
 	}
 	if msg := t.errMsg.Load(); msg != nil {
 		s.Err = *msg
+	}
+	if c := t.cache.Load(); c != nil {
+		st := c.Stats()
+		s.Cache = &st
 	}
 	for i, c := range h.cells {
 		d := c.done.Load()

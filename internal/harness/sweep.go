@@ -3,6 +3,8 @@ package harness
 import (
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 
 	"github.com/ilan-sched/ilan/internal/obs"
 	"github.com/ilan-sched/ilan/internal/stats"
@@ -75,7 +77,10 @@ func applyParam(cfg Config, param SweepParam, v float64) (Config, error) {
 // choices in DESIGN.md §5. The (value, scheduler, rep) units fan out
 // across one cfg.Jobs-bounded pool; points are assembled in value order,
 // so the curve is identical to a sequential run. progress, if non-nil, is
-// called from the calling goroutine as each value is enqueued.
+// called as the last unit of each value completes — completion order, the
+// order a user watching the sweep actually experiences, not enqueue order
+// (which announced every point before any work had run). Calls may come
+// from pool workers but are serialized, so the callback needs no locking.
 func Sweep(bench workloads.Benchmark, param SweepParam, values []float64,
 	cfg Config, progress func(v float64)) ([]SweepPoint, error) {
 	if len(values) == 0 {
@@ -86,9 +91,6 @@ func Sweep(bench workloads.Benchmark, param SweepParam, values []float64,
 	cells := make([][2]*Cell, len(values))
 	decls := make([]CellDecl, 0, len(values)*len(kinds))
 	for vi, v := range values {
-		if progress != nil {
-			progress(v)
-		}
 		c, err := applyParam(cfg, param, v)
 		if err != nil {
 			return nil, err
@@ -104,8 +106,16 @@ func Sweep(bench workloads.Benchmark, param SweepParam, values []float64,
 		}
 	}
 	cfg.Track.Begin(fmt.Sprintf("sweep %s %s", bench.Name, param), decls)
+	cfg.Track.AttachCache(cfg.Cache)
 	perValue := len(kinds) * cfg.Reps
-	err := ForEach(cfg.Jobs, len(values)*perValue, func(i int) error {
+	// remaining counts each value's outstanding units so the progress
+	// callback fires exactly once per value, when its last unit lands.
+	remaining := make([]int64, len(values))
+	for vi := range remaining {
+		remaining[vi] = int64(perValue)
+	}
+	var progressMu sync.Mutex
+	err := ForEachCancel(cfg.Jobs, len(values)*perValue, cfg.Cancel, func(i int) error {
 		vi, rest := i/perValue, i%perValue
 		ki, rep := rest/cfg.Reps, rest%cfg.Reps
 		s, err := RunOne(bench, kinds[ki], cfgs[vi], rep)
@@ -114,6 +124,11 @@ func Sweep(bench workloads.Benchmark, param SweepParam, values []float64,
 			return err
 		}
 		cells[vi][ki].Samples[rep] = s
+		if atomic.AddInt64(&remaining[vi], -1) == 0 && progress != nil {
+			progressMu.Lock()
+			progress(values[vi])
+			progressMu.Unlock()
+		}
 		return nil
 	})
 	cfg.Track.Finish(err)

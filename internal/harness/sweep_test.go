@@ -74,6 +74,61 @@ func TestSweepProgressAndReport(t *testing.T) {
 	}
 }
 
+// Progress must report completion, not enqueuing: the old Sweep announced
+// every point from the setup loop before a single unit had run, so a user
+// watching a long sweep saw "done" for work that hadn't started. Each
+// progress(v) call must find all of v's units already counted done.
+func TestSweepProgressFiresOnCompletion(t *testing.T) {
+	b := mustBench(t, "Matmul")
+	for _, jobs := range []int{1, 4} {
+		cfg := testConfig()
+		cfg.Reps = 2
+		cfg.Jobs = jobs
+		track := NewTracker()
+		cfg.Track = track
+		values := []float64{0.01, 0.03, 0.05}
+		perValue := 2 * cfg.Reps // two kinds per value
+		var calls int
+		_, err := Sweep(b, SweepAlpha, values, cfg, func(v float64) {
+			calls++
+			if done := track.Snapshot().UnitsDone; done < int64(perValue) {
+				t.Errorf("jobs=%d: progress(%g) fired with only %d units done (< %d)",
+					jobs, v, done, perValue)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if calls != len(values) {
+			t.Fatalf("jobs=%d: progress called %d times, want %d", jobs, calls, len(values))
+		}
+	}
+}
+
+// With a sequential pool the completion order is the value order, so the
+// reported sequence must match exactly.
+func TestSweepProgressSequentialOrder(t *testing.T) {
+	b := mustBench(t, "Matmul")
+	cfg := testConfig()
+	cfg.Reps = 1
+	cfg.Jobs = 1
+	values := []float64{0.02, 0.04, 0.06}
+	var seen []float64
+	if _, err := Sweep(b, SweepAlpha, values, cfg, func(v float64) {
+		seen = append(seen, v)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(values) {
+		t.Fatalf("progress called %d times, want %d", len(seen), len(values))
+	}
+	for i, v := range values {
+		if seen[i] != v {
+			t.Fatalf("sequential completion order %v, want %v", seen, values)
+		}
+	}
+}
+
 func TestConfigOverridesReachMachine(t *testing.T) {
 	// A tiny controller bandwidth must slow a memory-bound benchmark down.
 	b := mustBench(t, "CG")

@@ -97,6 +97,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "ilan_campaign_cells_total %d\n", p.CellsTotal)
 	fmt.Fprintf(w, "# TYPE ilan_campaign_cells_done gauge\n")
 	fmt.Fprintf(w, "ilan_campaign_cells_done %d\n", p.CellsDone)
+	// Campaign cache counters ride along when a cache is attached, so the
+	// same scrape that watches throughput sees the hit rate.
+	if c := p.Cache; c != nil {
+		fmt.Fprintf(w, "# TYPE ilan_campaign_cache_hits_total counter\n")
+		fmt.Fprintf(w, "ilan_campaign_cache_hits_total %d\n", c.Hits)
+		fmt.Fprintf(w, "# TYPE ilan_campaign_cache_misses_total counter\n")
+		fmt.Fprintf(w, "ilan_campaign_cache_misses_total %d\n", c.Misses)
+		fmt.Fprintf(w, "# TYPE ilan_campaign_cache_evictions_total counter\n")
+		fmt.Fprintf(w, "ilan_campaign_cache_evictions_total %d\n", c.Evictions)
+		fmt.Fprintf(w, "# TYPE ilan_campaign_cache_errors_total counter\n")
+		fmt.Fprintf(w, "ilan_campaign_cache_errors_total %d\n", c.Errors)
+	}
 }
 
 // handleProgress serves the JSON progress snapshot.

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/ilan-sched/ilan/internal/cellcache"
 	"github.com/ilan-sched/ilan/internal/harness"
 	"github.com/ilan-sched/ilan/internal/obs"
 )
@@ -97,6 +98,47 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if !strings.Contains(body, "# TYPE taskrt_steals_local_total counter") {
 		t.Fatalf("prometheus TYPE line missing:\n%s", body)
+	}
+}
+
+// The campaign cache counters must appear on /metrics exactly when a cache
+// is attached — and never otherwise, so cache-less scrapes stay identical
+// to previous releases.
+func TestMetricsEndpointCacheSeries(t *testing.T) {
+	_, tr, base := startServer(t)
+	tr.Begin("campaign", []harness.CellDecl{{Name: "CG/ilan", Units: 1}})
+
+	_, body := get(t, base+"/metrics")
+	if strings.Contains(body, "ilan_campaign_cache_") {
+		t.Fatalf("cache series served without a cache:\n%s", body)
+	}
+
+	cc, err := cellcache.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.AttachCache(cc)
+	cc.Get("0000000000000000000000000000000000000000000000000000000000000000") // one miss
+	if err := cc.Put(
+		"1111111111111111111111111111111111111111111111111111111111111111",
+		[]byte(`{"x":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cc.Get("1111111111111111111111111111111111111111111111111111111111111111"); !ok {
+		t.Fatal("put entry not readable")
+	}
+
+	_, body = get(t, base+"/metrics")
+	for _, want := range []string{
+		"# TYPE ilan_campaign_cache_hits_total counter",
+		"ilan_campaign_cache_hits_total 1",
+		"ilan_campaign_cache_misses_total 1",
+		"ilan_campaign_cache_evictions_total 0",
+		"ilan_campaign_cache_errors_total 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
 	}
 }
 

@@ -190,6 +190,18 @@ func Compare(a, b *File, tol float64) []Diff {
 			continue
 		}
 		check := func(field string, oldV, newV float64) {
+			// NaN is never within tolerance: rel would be NaN and
+			// `NaN > tol` is false, so a cell whose mean went NaN used to
+			// sail through the gate. Any NaN — a NaN/number mismatch or
+			// NaN on both sides — is a diff: a campaign that produces NaN
+			// means at all is broken and must fail the gate loudly.
+			if math.IsNaN(oldV) || math.IsNaN(newV) {
+				diffs = append(diffs, Diff{
+					Bench: ca.Bench, Kind: ca.Kind, Field: field,
+					Old: oldV, New: newV, Rel: math.NaN(),
+				})
+				return
+			}
 			if oldV == 0 && newV == 0 {
 				return
 			}
@@ -219,8 +231,8 @@ type ObsDiff struct {
 	Old, New, Rel float64
 	// Kind of discrepancy: "drift" (value moved beyond tolerance),
 	// "missing" (metric present only in the old file), "new" (metric
-	// present only in the new file), or "no-obs" (one cell has no snapshot
-	// at all).
+	// present only in the new file), "nan" (either side is NaN — never
+	// within tolerance), or "no-obs" (one cell has no snapshot at all).
 	What string
 }
 
@@ -233,6 +245,9 @@ func (d ObsDiff) String() string {
 		return fmt.Sprintf("%-8s %-14s obs metric %s new in new file", d.Bench, d.Kind, d.Metric)
 	case "no-obs":
 		return fmt.Sprintf("%-8s %-14s obs snapshot present in only one file", d.Bench, d.Kind)
+	case "nan":
+		return fmt.Sprintf("%-8s %-14s obs %s is NaN (%g -> %g)",
+			d.Bench, d.Kind, d.Metric, d.Old, d.New)
 	default:
 		return fmt.Sprintf("%-8s %-14s obs %s %12.6g -> %12.6g (%+.2f%%)",
 			d.Bench, d.Kind, d.Metric, d.Old, d.New, 100*d.Rel)
@@ -322,6 +337,12 @@ func CompareObs(a, b *File, tol float64) []ObsDiff {
 			case !inOld:
 				diffs = append(diffs, ObsDiff{Bench: ca.Bench, Kind: ca.Kind,
 					Metric: name, New: newV, What: "new"})
+			case math.IsNaN(oldV) || math.IsNaN(newV):
+				// Same NaN gate as Compare: NaN relative drift compares
+				// false against any tolerance, so without this branch a
+				// counter gone NaN would silently pass.
+				diffs = append(diffs, ObsDiff{Bench: ca.Bench, Kind: ca.Kind,
+					Metric: name, Old: oldV, New: newV, What: "nan"})
 			default:
 				if oldV == 0 && newV == 0 {
 					continue

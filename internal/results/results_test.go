@@ -2,6 +2,7 @@ package results
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 
@@ -90,6 +91,77 @@ func TestCompareToleranceSuppresses(t *testing.T) {
 	}
 	if diffs := Compare(a, b, 0.05); len(diffs) != 0 {
 		t.Fatalf("1%% change reported at 5%% tolerance: %v", diffs)
+	}
+}
+
+// The NaN gate: a relative drift of NaN compares false against any
+// tolerance, so before the gate a cell whose mean went NaN sailed through
+// Compare silently. Any NaN — on either side or both — must be a diff.
+func TestCompareNaNIsADiff(t *testing.T) {
+	mxA, cfg := campaign(t, 1)
+	base := FromMatrix(mxA, cfg, "a")
+	perturb := func(mut func(f *File)) *File {
+		f := FromMatrix(mxA, cfg, "b")
+		mut(f)
+		return f
+	}
+	cases := map[string]struct {
+		a, b *File
+	}{
+		"nan in new times": {base, perturb(func(f *File) {
+			f.Cells[0].Times = []float64{math.NaN()}
+		})},
+		"nan in old times": {perturb(func(f *File) {
+			f.Cells[0].Times = []float64{math.NaN()}
+		}), base},
+		"nan on both sides": {
+			perturb(func(f *File) { f.Cells[0].Overheads = nil }),
+			perturb(func(f *File) { f.Cells[0].Overheads = nil }),
+		},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			// Huge tolerance: only the NaN gate can fire.
+			diffs := Compare(tc.a, tc.b, 1e9)
+			if len(diffs) == 0 {
+				t.Fatal("NaN mean passed the gate silently")
+			}
+			for _, d := range diffs {
+				if !math.IsNaN(d.Rel) {
+					t.Fatalf("NaN diff carries finite Rel: %+v", d)
+				}
+				if !math.IsNaN(d.Old) && !math.IsNaN(d.New) {
+					t.Fatalf("diff has no NaN side: %+v", d)
+				}
+			}
+		})
+	}
+}
+
+// The real-world NaN path: Read validates that times is non-empty but not
+// overheads or weightedThreads, so a hand-edited or version-skewed file
+// with those arrays absent yields stats.Mean(nil) = NaN — which the old
+// gate accepted even when comparing the file against itself.
+func TestCompareNaNFromFileMissingOverheads(t *testing.T) {
+	doc := `{"version":1,"cells":[{"bench":"CG","kind":"ilan","times":[1.5,1.6]}]}`
+	f, err := Read(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Read(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffs := Compare(f, g, 0.5)
+	fields := map[string]bool{}
+	for _, d := range diffs {
+		if !math.IsNaN(d.Rel) {
+			t.Fatalf("unexpected finite diff: %+v", d)
+		}
+		fields[d.Field] = true
+	}
+	if !fields["overhead"] || !fields["threads"] {
+		t.Fatalf("NaN means not reported (got fields %v, want overhead and threads)", fields)
 	}
 }
 
@@ -186,6 +258,25 @@ func TestCompareObsHistogramCount(t *testing.T) {
 	d := CompareObs(a, b, 0)
 	if len(d) != 1 || d[0].What != "drift" || d[0].Metric != "taskrt_loop_elapsed_sec_count" {
 		t.Fatalf("diffs = %v", d)
+	}
+}
+
+// CompareObs shares Compare's NaN gate: a counter gone NaN used to pass
+// because the drift branch computes a NaN rel that compares false.
+func TestCompareObsNaNGate(t *testing.T) {
+	a := obsFile(map[string]float64{"taskrt_steals_local_total": 100}, nil, nil)
+	b := obsFile(map[string]float64{"taskrt_steals_local_total": math.NaN()}, nil, nil)
+	d := CompareObs(a, b, 1e9)
+	if len(d) != 1 || d[0].What != "nan" {
+		t.Fatalf("diffs = %v, want one nan diff", d)
+	}
+	if !strings.Contains(d[0].String(), "NaN") {
+		t.Fatalf("nan diff string: %s", d[0])
+	}
+	// NaN on both sides is still broken, still a diff.
+	both := CompareObs(b, b, 1e9)
+	if len(both) != 1 || both[0].What != "nan" {
+		t.Fatalf("both-NaN diffs = %v", both)
 	}
 }
 
