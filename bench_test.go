@@ -524,9 +524,9 @@ func TestServeAddsZeroHotPathAllocs(t *testing.T) {
 		}
 	}
 	scrape()
-	track.UnitDone(0, 0, nil, nil)
+	track.UnitDone(0, 0, nil, nil, nil)
 	served := perLoopAllocs(t)
-	track.UnitDone(0, 1, nil, nil)
+	track.UnitDone(0, 1, nil, nil, nil)
 	track.Finish(nil)
 	scrape()
 

@@ -60,6 +60,7 @@ func main() {
 	serve := flag.String("serve", "", "serve live campaign progress over HTTP on this address (e.g. :8080 or 127.0.0.1:0)")
 	serveLinger := flag.Duration("serve-linger", 0, "keep the -serve monitor up this long after the campaign finishes")
 	perfetto := flag.String("perfetto", "", "write rep 0's execution trace as Perfetto (Chrome trace-event) JSON to this file (implies -metrics -trace-decisions)")
+	attrOut := flag.String("attr", "", "collect virtual-time attribution and write the per-cell report JSON to this file (output-neutral: -out/-perfetto bytes are identical either way)")
 	noCoalesce := flag.Bool("no-coalesce", false, "disable instant-coalesced refresh in the fluid model (debug; outputs are byte-identical either way)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 	memprofile := flag.String("memprofile", "", "write a heap-allocation profile to this file at exit")
@@ -118,6 +119,7 @@ func main() {
 	cfg.Metrics = *metrics
 	cfg.TraceDecisions = *traceDecisions
 	cfg.NoCoalesce = *noCoalesce
+	cfg.Attr = *attrOut != ""
 	if *perfetto != "" {
 		// The exporter needs the task trace plus the decision trace; turn
 		// both on rather than failing on a missing flag combination.
@@ -326,6 +328,22 @@ func main() {
 		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "perfetto trace written to %s\n", *perfetto)
+		}
+	}
+	if *attrOut != "" {
+		// The attribution report is a sidecar results.File (attr-only
+		// cells), written atomically like -out.
+		file := results.AttrFromMatrix(mx, cfg, *label)
+		if file == nil {
+			fmt.Fprintln(os.Stderr, "ilanexp: no attribution collected (internal error: -attr should imply attribution)")
+			os.Exit(1)
+		}
+		if err := fsatomic.WriteFile(*attrOut, file.Write); err != nil {
+			fmt.Fprintln(os.Stderr, "ilanexp:", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "attribution report written to %s\n", *attrOut)
 		}
 	}
 }

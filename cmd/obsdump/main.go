@@ -12,29 +12,39 @@
 //	obsdump -in results.json -cell CG/ilan -format decisions
 //	obsdump -in results.json -cell CG/ilan -format folded > cg.folded
 //	obsdump -in results.json -cell CG/ilan perfetto > cg.trace.json
+//	obsdump -in attr.json attr                         # attribution tables
+//	obsdump -in attr.json -cell CG/ilan attr           # one cell, with loops
 //
 // The perfetto format (also spellable as a trailing argument, as above)
 // converts the cell's rep-0 task trace plus its decision trace into
 // Chrome trace-event JSON for https://ui.perfetto.dev; the campaign must
 // have run with ilanexp -perfetto (or any config that records a task
 // trace into the -out file).
+//
+// The attr format renders the virtual-time attribution reports written by
+// ilanexp -attr (DESIGN.md §14): without -cell, a per-scheduler table of
+// every cell's task-time decomposition plus comparison bars; with -cell,
+// that cell's full breakdown including per-resource interference and the
+// per-loop makespan terms.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 
 	"github.com/ilan-sched/ilan/internal/chrometrace"
 	"github.com/ilan-sched/ilan/internal/obs"
 	"github.com/ilan-sched/ilan/internal/results"
+	"github.com/ilan-sched/ilan/internal/textchart"
 )
 
 func main() {
 	in := flag.String("in", "", "campaign JSON written by ilanexp -metrics -out (required)")
 	cell := flag.String("cell", "", "cell to dump, as bench/kind (e.g. CG/ilan); empty lists cells")
-	format := flag.String("format", "summary", "output: summary|prom|folded|decisions|json|perfetto")
+	format := flag.String("format", "summary", "output: summary|prom|folded|decisions|json|perfetto|attr")
 	flag.Parse()
 
 	// A single trailing argument is a format alias (`obsdump -in f.json
@@ -55,9 +65,9 @@ func main() {
 		os.Exit(2)
 	}
 	switch *format {
-	case "summary", "prom", "folded", "decisions", "json", "perfetto":
+	case "summary", "prom", "folded", "decisions", "json", "perfetto", "attr":
 	default:
-		fmt.Fprintf(os.Stderr, "obsdump: unknown format %q (valid: summary, prom, folded, decisions, json, perfetto)\n", *format)
+		fmt.Fprintf(os.Stderr, "obsdump: unknown format %q (valid: summary, prom, folded, decisions, json, perfetto, attr)\n", *format)
 		os.Exit(2)
 	}
 
@@ -73,6 +83,15 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *format == "attr" {
+		// The attr view is cross-cell by design (the point is comparing
+		// schedulers); -cell narrows it to one cell's full breakdown.
+		if err := writeAttr(file, *cell); err != nil {
+			fmt.Fprintln(os.Stderr, "obsdump:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *cell == "" {
 		listCells(file)
 		return
@@ -182,7 +201,8 @@ func writeSummary(name string, s *obs.Snapshot) error {
 			if h.Count > 0 {
 				mean = h.Sum / float64(h.Count)
 			}
-			fmt.Printf("  %-48s count=%d mean=%g\n", k, h.Count, mean)
+			fmt.Printf("  %-48s count=%d mean=%g p50=%g p95=%g p99=%g\n",
+				k, h.Count, mean, h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
 		}
 	}
 	dump("profile (virtual seconds)", s.Profile)
@@ -210,6 +230,104 @@ func writeDecisions(s *obs.Snapshot) error {
 	if int(s.DecisionsTotal) > len(s.Decisions) {
 		fmt.Printf("(%d older decisions were dropped by the per-run ring buffer)\n",
 			int(s.DecisionsTotal)-len(s.Decisions))
+	}
+	return nil
+}
+
+// writeAttr renders the virtual-time attribution reports (DESIGN.md §14).
+// With cellName empty it prints one row per cell carrying a report — the
+// per-scheduler comparison view — followed by bars of the two terms a
+// scheduler actually controls (interference stall and locality penalty).
+// With a cell named it adds that cell's per-resource interference split
+// and per-loop makespan decomposition.
+func writeAttr(file *results.File, cellName string) error {
+	var cells []*results.Cell
+	for i := range file.Cells {
+		c := &file.Cells[i]
+		if c.Attr == nil {
+			continue
+		}
+		if cellName != "" && c.Bench+"/"+c.Kind != cellName {
+			continue
+		}
+		cells = append(cells, c)
+	}
+	if len(cells) == 0 {
+		if cellName != "" {
+			return fmt.Errorf("cell %q has no attribution report (rerun the campaign with ilanexp -attr)", cellName)
+		}
+		return fmt.Errorf("no attribution reports in this file (rerun the campaign with ilanexp -attr)")
+	}
+
+	fmt.Printf("task-time attribution (virtual seconds, summed over reps):\n\n")
+	fmt.Printf("%-24s %8s %12s %12s %12s %12s %12s %12s %12s\n",
+		"cell", "tasks", "elapsed", "ideal", "corespeed", "idealmem", "locality", "interf", "residual")
+	for _, c := range cells {
+		t := c.Attr.Task
+		fmt.Printf("%-24s %8d %12.6g %12.6g %12.6g %12.6g %+12.6g %12.6g %12.3g\n",
+			c.Bench+"/"+c.Kind, t.Tasks, t.ElapsedSec, t.IdealComputeSec,
+			t.CoreSpeedSec, t.IdealMemorySec, t.LocalitySec, t.InterferenceSec, t.ResidualSec)
+	}
+
+	// The comparison bars plot the two signed-or-positive levers a
+	// scheduler pulls: interference stall (always >= 0) and the locality
+	// penalty it paid (clamped at zero for the bar; the signed value is in
+	// the table — a negative locality term means multi-controller
+	// spreading beat the single-local-controller counterfactual).
+	rows := make([]string, 0, len(cells))
+	interf := make([]float64, 0, len(cells))
+	locality := make([]float64, 0, len(cells))
+	for _, c := range cells {
+		rows = append(rows, c.Bench+"/"+c.Kind)
+		interf = append(interf, c.Attr.Task.InterferenceSec)
+		locality = append(locality, math.Max(0, c.Attr.Task.LocalitySec))
+	}
+	chart := textchart.Chart{
+		Title: "\ninterference stall vs locality penalty:",
+		Rows:  rows,
+		Series: []textchart.Series{
+			{Label: "interference", Values: interf},
+			{Label: "locality", Values: locality},
+		},
+		Unit: "s",
+	}
+	if err := chart.Render(os.Stdout); err != nil {
+		// A campaign where every term is zero (pure-compute workload) has
+		// nothing to plot; the table above already says so.
+		fmt.Printf("\n(no positive interference/locality terms to plot)\n")
+	}
+
+	for _, c := range cells {
+		if cellName == "" {
+			continue
+		}
+		if len(c.Attr.Interference) > 0 {
+			fmt.Printf("\ninterference stall by bottleneck resource:\n")
+			names := make([]string, 0, len(c.Attr.Interference))
+			for n := range c.Attr.Interference {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				fmt.Printf("  %-24s %12.6g s\n", n, c.Attr.Interference[n])
+			}
+		}
+		if len(c.Attr.Loops) > 0 {
+			fmt.Printf("\nloop makespan attribution (core-seconds):\n\n")
+			fmt.Printf("%-16s %6s %12s %12s %12s %12s %12s %12s %12s %12s\n",
+				"loop", "execs", "core", "select", "task", "steal", "imbal", "barrier", "qwait", "residual")
+			names := make([]string, 0, len(c.Attr.Loops))
+			for n := range c.Attr.Loops {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				l := c.Attr.Loops[n]
+				fmt.Printf("%-16s %6d %12.6g %12.6g %12.6g %12.6g %12.6g %12.6g %12.6g %12.3g\n",
+					n, l.Executions, l.CoreSec, l.SelectSec, l.TaskSec, l.StealSec,
+					l.ImbalanceSec, l.BarrierSec, l.QueueWaitSec, l.ResidualSec)
+			}
+		}
 	}
 	return nil
 }

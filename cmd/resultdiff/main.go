@@ -12,7 +12,10 @@
 // With -obs, per-cell merged observability snapshots are compared too:
 // counter (and histogram-count) drift beyond -obstol, plus metric names
 // present in only one file — so CI catches silent telemetry regressions,
-// not just time/threads drift.
+// not just time/threads drift. Attribution reports (ilanexp -attr files,
+// or cells carrying attr) are compared term by term under the same
+// tolerance and NaN gate; residual terms are NaN-gated but exempt from
+// relative drift (they are floating-point closures near zero).
 //
 // Exit status: 0 when within tolerance, 1 when differences were found,
 // 2 on usage or I/O errors.

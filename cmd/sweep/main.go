@@ -43,6 +43,7 @@ func main() {
 	seed := flag.Uint64("seed", 7, "base seed")
 	metrics := flag.Bool("metrics", false, "collect observability metrics; ILAN steal split rides along per point")
 	traceDecisions := flag.Bool("trace-decisions", false, "record every ILAN configuration decision (implies -metrics)")
+	attr := flag.Bool("attr", false, "collect virtual-time attribution; ilan_attr_* series ride along on the -serve /metrics endpoint")
 	serve := flag.String("serve", "", "serve live sweep progress over HTTP on this address (e.g. :8080 or 127.0.0.1:0)")
 	serveLinger := flag.Duration("serve-linger", 0, "keep the -serve monitor up this long after the sweep finishes")
 	cacheOn := flag.Bool("cache", false, "memoize per-unit results in a content-addressed on-disk cache (see -cache-dir)")
@@ -93,6 +94,7 @@ func main() {
 		Topo:           topology.Zen4Vera(),
 		Metrics:        *metrics,
 		TraceDecisions: *traceDecisions,
+		Attr:           *attr,
 	}
 	switch *class {
 	case "paper":

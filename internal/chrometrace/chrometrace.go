@@ -126,15 +126,25 @@ func Write(w io.Writer, tr *taskrt.Trace, decisions []obs.Decision, opts Options
 		if t.Strict {
 			cname = cnameStrict
 		}
+		args := map[string]any{
+			"loop": t.LoopID, "exec": t.Exec, "lo": t.Lo, "hi": t.Hi,
+			"stolen": t.Stolen, "remote": t.Remote, "strict": t.Strict,
+			"from": t.FromCore,
+		}
+		// Attribution breakdown of the slice (DESIGN.md §14): visible in
+		// the Perfetto slice-details pane. Tracing always enables machine
+		// attribution, so these args appear in every exported trace —
+		// which keeps the export byte-identical with -attr on or off.
+		args["idealSec"] = t.IdealSec
+		args["coreSpeedSec"] = t.CoreSpeedSec
+		args["idealMemSec"] = t.IdealMemSec
+		args["localitySec"] = t.LocalitySec
+		args["interferenceSec"] = t.InterferenceSec
 		evs = append(evs, event{
 			Name: t.LoopName, Ph: "X", Cat: "task",
 			Ts: t.StartSec * usec, Dur: (t.EndSec - t.StartSec) * usec,
 			Pid: pid, Tid: t.Core, Cname: cname,
-			Args: map[string]any{
-				"loop": t.LoopID, "exec": t.Exec, "lo": t.Lo, "hi": t.Hi,
-				"stolen": t.Stolen, "remote": t.Remote, "strict": t.Strict,
-				"from": t.FromCore,
-			},
+			Args: args,
 		})
 		if t.Remote && t.FromCore >= 0 {
 			flowID++

@@ -28,7 +28,8 @@ import (
 //   - noise model, topology spec, disturbance injection,
 //   - machine-model overrides (bandwidths, alpha, beta),
 //   - observability settings that change the stored payload (Metrics,
-//     TraceDecisions, DecisionCap, and TraceTasks for rep 0).
+//     TraceDecisions, DecisionCap, TraceTasks for rep 0, and Attr — the
+//     attribution report rides inside the cached RunSample).
 //
 // Normalized out (proven output-neutral, so runs share entries across
 // them): Reps (the rep index, not the campaign width, feeds the seed),
@@ -41,7 +42,7 @@ import (
 // Bump it whenever a change alters any campaign output byte (timings,
 // metrics, traces): old cache entries then miss instead of serving stale
 // results. Tests override it to prove fingerprint skew invalidates keys.
-var simFingerprint = "ilan-sim-v8-zen4-fluid-coalesced"
+var simFingerprint = "ilan-sim-v9-zen4-fluid-attr"
 
 // cacheKeyInputs is the canonical, JSON-marshaled form of a unit's
 // identity. Field order is fixed by the struct, map-free, so the encoding
@@ -66,6 +67,7 @@ type cacheKeyInputs struct {
 	TraceDecs    bool                `json:"traceDecisions"`
 	DecisionCap  int                 `json:"decisionCap"`
 	TraceTasks   bool                `json:"traceTasks"`
+	Attr         bool                `json:"attr"`
 }
 
 // cacheKeyFor computes the unit's content address. The zero-value
@@ -98,6 +100,7 @@ func cacheKeyFor(b workloads.Benchmark, k Kind, cfg Config, rep int) string {
 		TraceDecs:    cfg.TraceDecisions,
 		DecisionCap:  cfg.DecisionCap,
 		TraceTasks:   cfg.TraceTasks && rep == 0,
+		Attr:         cfg.Attr,
 	}
 	data, err := json.Marshal(in)
 	if err != nil {

@@ -143,6 +143,7 @@ func TestCacheKeyClassifiesEveryConfigField(t *testing.T) {
 		"Disturb": true, "ControllerBW": true, "LinkBW": true,
 		"CoreStreamBW": true, "Alpha": true, "Beta": true, "Metrics": true,
 		"TraceDecisions": true, "DecisionCap": true, "TraceTasks": true,
+		"Attr": true,
 	}
 	normalizedOut := map[string]bool{
 		"Reps": true, "Jobs": true, "NoCoalesce": true, "Track": true,

@@ -135,6 +135,13 @@ type Config struct {
 	// the Perfetto export (internal/chrometrace) and rides along in the
 	// results file.
 	TraceTasks bool
+	// Attr enables virtual-time attribution: every run carries an
+	// obs.AttrSnapshot decomposing task and loop time into ideal compute,
+	// core-speed, locality, interference, and runtime terms (DESIGN.md
+	// §14). Attribution is output-neutral — every other campaign byte is
+	// identical with it on or off — and is exported separately from -out
+	// (ilanexp -attr).
+	Attr bool
 	// Track, when non-nil, receives live campaign progress: per-cell rep
 	// counts, per-rep observability snapshots, and completion events. The
 	// tracker is read-only telemetry — attaching one changes no campaign
@@ -188,6 +195,8 @@ type RunSample struct {
 	// Trace is the run's task-event trace (nil unless Config.TraceTasks is
 	// set and this is repetition 0).
 	Trace *taskrt.Trace
+	// Attr is the run's attribution report (nil unless Config.Attr is set).
+	Attr *obs.AttrSnapshot
 }
 
 // Cell aggregates all repetitions of one (benchmark, scheduler) pair.
@@ -233,6 +242,18 @@ func (c *Cell) MergedObs() *obs.Snapshot {
 		snaps[i] = s.Obs
 	}
 	return obs.Merge(snaps)
+}
+
+// MergedAttr merges the samples' attribution snapshots in repetition
+// order (nil when the campaign ran without Config.Attr). Like MergedObs,
+// the merge is deterministic, so the result is byte-identical for any
+// Jobs setting.
+func (c *Cell) MergedAttr() *obs.AttrSnapshot {
+	snaps := make([]*obs.AttrSnapshot, len(c.Samples))
+	for i, s := range c.Samples {
+		snaps[i] = s.Attr
+	}
+	return obs.MergeAttr(snaps)
 }
 
 // MeanThreads returns the mean execution-time-weighted thread count.
@@ -315,6 +336,9 @@ func runOneUncached(b workloads.Benchmark, k Kind, cfg Config, rep int) (RunSamp
 	if cfg.TraceTasks && rep == 0 {
 		trace = rt.EnableTracing()
 	}
+	if cfg.Attr {
+		rt.EnableAttr()
+	}
 	res, err := rt.RunProgram(prog)
 	if err != nil {
 		return RunSample{}, fmt.Errorf("harness: %s/%s rep %d: %w", b.Name, k, rep, err)
@@ -336,6 +360,7 @@ func runOneUncached(b workloads.Benchmark, k Kind, cfg Config, rep int) (RunSamp
 		Tasks:           res.TasksExecuted,
 		Obs:             snap,
 		Trace:           trace,
+		Attr:            rt.AttrSnapshot(),
 	}, nil
 }
 
@@ -348,7 +373,7 @@ func RunCell(b workloads.Benchmark, k Kind, cfg Config) (*Cell, error) {
 	c := &Cell{Bench: b.Name, Kind: k, Samples: make([]RunSample, cfg.Reps)}
 	err := ForEachCancel(cfg.Jobs, cfg.Reps, cfg.Cancel, func(rep int) error {
 		s, err := RunOne(b, k, cfg, rep)
-		cfg.Track.UnitDone(0, rep, s.Obs, err)
+		cfg.Track.UnitDone(0, rep, s.Obs, s.Attr, err)
 		if err != nil {
 			return err
 		}
@@ -406,7 +431,7 @@ func Run(benches []workloads.Benchmark, kinds []Kind, cfg Config,
 	err := ForEachCancel(cfg.Jobs, len(units), cfg.Cancel, func(i int) error {
 		u := units[i]
 		s, err := RunOne(u.bench, u.kind, cfg, u.rep)
-		cfg.Track.UnitDone(u.track, u.rep, s.Obs, err)
+		cfg.Track.UnitDone(u.track, u.rep, s.Obs, s.Attr, err)
 		if err != nil {
 			return err
 		}

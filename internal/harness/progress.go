@@ -49,6 +49,7 @@ type Tracker struct {
 
 	mu      sync.Mutex
 	snaps   []*obs.Snapshot
+	attrs   []*obs.AttrSnapshot
 	subs    map[int]chan ProgressEvent
 	nextSub int
 }
@@ -103,6 +104,7 @@ func (t *Tracker) Begin(label string, cells []CellDecl) {
 	t.errMsg.Store(nil)
 	t.mu.Lock()
 	t.snaps = nil
+	t.attrs = nil
 	t.mu.Unlock()
 	t.hdr.Store(h)
 }
@@ -117,10 +119,10 @@ func (t *Tracker) AttachCache(c *cellcache.Cache) {
 	t.cache.Store(c)
 }
 
-// UnitDone publishes one finished repetition of the given cell. snap may
-// be nil (campaign without metrics); err non-nil marks the unit failed.
-// Safe for concurrent use from pool workers.
-func (t *Tracker) UnitDone(cell int, rep int, snap *obs.Snapshot, err error) {
+// UnitDone publishes one finished repetition of the given cell. snap and
+// attr may be nil (campaign without metrics / without attribution); err
+// non-nil marks the unit failed. Safe for concurrent use from pool workers.
+func (t *Tracker) UnitDone(cell int, rep int, snap *obs.Snapshot, attr *obs.AttrSnapshot, err error) {
 	if t == nil {
 		return
 	}
@@ -158,10 +160,17 @@ func (t *Tracker) UnitDone(cell int, rep int, snap *obs.Snapshot, err error) {
 	if err != nil {
 		t.failed.Add(1)
 	}
-	if snap != nil {
+	if snap != nil || attr != nil {
 		t.mu.Lock()
-		t.snaps = append(t.snaps, snap)
+		if snap != nil {
+			t.snaps = append(t.snaps, snap)
+		}
+		if attr != nil {
+			t.attrs = append(t.attrs, attr)
+		}
 		t.mu.Unlock()
+	}
+	if snap != nil {
 		t.publishPhaseEvents(c.name, snap)
 	}
 	if cellDone == c.units {
@@ -227,9 +236,9 @@ type ProgressSnapshot struct {
 	ElapsedSec  float64 `json:"elapsed_sec"`
 	// ETASec extrapolates wall-clock time to completion from the pool's
 	// throughput so far; -1 while no unit has finished yet.
-	ETASec   float64        `json:"eta_sec"`
-	Finished bool           `json:"finished"`
-	Err      string         `json:"error,omitempty"`
+	ETASec   float64 `json:"eta_sec"`
+	Finished bool    `json:"finished"`
+	Err      string  `json:"error,omitempty"`
 	// Cache carries the campaign cache's counters (nil when the campaign
 	// runs uncached).
 	Cache *cellcache.Stats `json:"cache,omitempty"`
@@ -304,6 +313,21 @@ func (t *Tracker) MergedObs() *obs.Snapshot {
 	copy(snaps, t.snaps)
 	t.mu.Unlock()
 	return obs.Merge(snaps)
+}
+
+// MergedAttr merges the attribution snapshots of every repetition that has
+// completed so far, under the same monitoring (not byte-determinism)
+// contract as MergedObs. Returns nil while no rep with attribution has
+// completed.
+func (t *Tracker) MergedAttr() *obs.AttrSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	attrs := make([]*obs.AttrSnapshot, len(t.attrs))
+	copy(attrs, t.attrs)
+	t.mu.Unlock()
+	return obs.MergeAttr(attrs)
 }
 
 // ProgressEvent is one live campaign event for the SSE stream.

@@ -18,7 +18,7 @@ import (
 func TestTrackerNilSafe(t *testing.T) {
 	var tr *Tracker
 	tr.Begin("x", []CellDecl{{Name: "a", Units: 1}})
-	tr.UnitDone(0, 0, nil, nil)
+	tr.UnitDone(0, 0, nil, nil, nil)
 	tr.Finish(nil)
 	if s := tr.Snapshot(); s.UnitsTotal != 0 || s.ETASec != -1 {
 		t.Fatalf("nil tracker snapshot = %+v", s)
@@ -46,9 +46,9 @@ func TestTrackerSnapshotAndCells(t *testing.T) {
 	if s.ETASec != -1 {
 		t.Fatalf("ETA before any unit = %g, want -1", s.ETASec)
 	}
-	tr.UnitDone(0, 0, nil, nil)
-	tr.UnitDone(0, 1, nil, nil)
-	tr.UnitDone(1, 0, nil, nil)
+	tr.UnitDone(0, 0, nil, nil, nil)
+	tr.UnitDone(0, 1, nil, nil, nil)
+	tr.UnitDone(1, 0, nil, nil, nil)
 	s = tr.Snapshot()
 	if s.UnitsDone != 3 || s.CellsDone != 1 {
 		t.Fatalf("mid snapshot = %+v", s)
@@ -59,7 +59,7 @@ func TestTrackerSnapshotAndCells(t *testing.T) {
 	if s.ETASec < 0 {
 		t.Fatalf("ETA with units done = %g, want >= 0", s.ETASec)
 	}
-	tr.UnitDone(1, 1, nil, nil)
+	tr.UnitDone(1, 1, nil, nil, nil)
 	tr.Finish(nil)
 	s = tr.Snapshot()
 	if !s.Finished || s.CellsDone != 2 || s.UnitsDone != 4 || s.ETASec != 0 {
@@ -80,7 +80,7 @@ func TestTrackerMergedObsMonotone(t *testing.T) {
 	}
 	prev := 0.0
 	for i, v := range []float64{3, 5, 7} {
-		tr.UnitDone(0, i, mkSnap(v), nil)
+		tr.UnitDone(0, i, mkSnap(v), nil, nil)
 		m := tr.MergedObs()
 		got := m.Counters["taskrt_steals_local_total"]
 		if got < prev {
@@ -103,7 +103,7 @@ func TestTrackerEvents(t *testing.T) {
 	run.Decisions().Record(obs.Decision{LoopID: 1, K: 1, Phase: "explore", Threads: 4})
 	run.Decisions().Record(obs.Decision{LoopID: 1, K: 2, Phase: "explore", Threads: 8})
 	run.Decisions().Record(obs.Decision{LoopID: 1, K: 3, Phase: "settled", Threads: 8})
-	tr.UnitDone(0, 0, run.Snapshot(), nil)
+	tr.UnitDone(0, 0, run.Snapshot(), nil, nil)
 	tr.Finish(nil)
 
 	var types []string
@@ -222,12 +222,12 @@ func TestSweepProgressReachesTotalOnPanic(t *testing.T) {
 func TestTrackerLateUnitDoneDropped(t *testing.T) {
 	tr := NewTracker()
 	tr.Begin("c", []CellDecl{{Name: "a", Units: 2}})
-	tr.UnitDone(0, 0, nil, nil)
+	tr.UnitDone(0, 0, nil, nil, nil)
 	tr.Finish(fmt.Errorf("rep 1 panicked"))
 
 	run := obs.NewRun(obs.Options{})
 	run.Scope("taskrt").Counter("steals_local_total").Add(1)
-	tr.UnitDone(0, 1, run.Snapshot(), fmt.Errorf("late failure"))
+	tr.UnitDone(0, 1, run.Snapshot(), nil, fmt.Errorf("late failure"))
 
 	s := tr.Snapshot()
 	if s.UnitsDone != s.UnitsTotal {
@@ -258,7 +258,7 @@ func TestTrackerConcurrentUnitDoneFinishBounded(t *testing.T) {
 			wg.Add(1)
 			go func(rep int) {
 				defer wg.Done()
-				tr.UnitDone(0, rep, nil, nil)
+				tr.UnitDone(0, rep, nil, nil, nil)
 			}(i)
 		}
 		tr.Finish(fmt.Errorf("abort"))

@@ -119,7 +119,7 @@ func Sweep(bench workloads.Benchmark, param SweepParam, values []float64,
 		vi, rest := i/perValue, i%perValue
 		ki, rep := rest/cfg.Reps, rest%cfg.Reps
 		s, err := RunOne(bench, kinds[ki], cfgs[vi], rep)
-		cfg.Track.UnitDone(vi*len(kinds)+ki, rep, s.Obs, err)
+		cfg.Track.UnitDone(vi*len(kinds)+ki, rep, s.Obs, s.Attr, err)
 		if err != nil {
 			return err
 		}

@@ -32,6 +32,7 @@ import (
 	"fmt"
 
 	"github.com/ilan-sched/ilan/internal/memsys"
+	"github.com/ilan-sched/ilan/internal/obs"
 	"github.com/ilan-sched/ilan/internal/sim"
 	"github.com/ilan-sched/ilan/internal/topology"
 )
@@ -147,6 +148,14 @@ type Machine struct {
 	obsOn       bool
 	loadIntSec  []float64
 	lastLoadUpd []sim.Time
+
+	// attrOn gates per-task virtual-time attribution (see attr.go). The
+	// accounting is O(1) per task at Exec and completion, allocation-free,
+	// and output-neutral.
+	attrOn     bool
+	attrTask   obs.TaskAttr
+	attrInterf []float64 // interference seconds by solo-bottleneck resource; last = port
+	lastAttr   TaskAttrSample
 }
 
 // loadSvc pairs the two per-resource aggregates the rate computation needs.
@@ -187,6 +196,11 @@ type fluidTask struct {
 	// completeFn is the pre-bound completion callback, created once per
 	// pooled object so refresh never allocates a closure.
 	completeFn sim.Event
+	// attrSolo/attrLocal/attrBneck carry the attribution counterfactuals
+	// priced at Exec (see attr.go); only read when Machine.attrOn.
+	attrSolo  float64
+	attrLocal float64
+	attrBneck int32
 }
 
 // allocFT takes a fluidTask from the pool, or grows it. The completion
@@ -440,6 +454,9 @@ func (m *Machine) Exec(core int, computeSec float64, accesses []memsys.Access, d
 		// byte than it consumes in service share.
 		e.loadW = m.demand.ResLoad[e.r] / totalBytes
 	}
+	if m.attrOn {
+		m.attrResolve(ft, jitter)
+	}
 	m.running[core] = ft
 
 	// Register the task's load, then re-rate every task sharing a resource
@@ -641,6 +658,9 @@ func (m *Machine) complete(ft *fluidTask) {
 	m.busySeconds[ft.core] += float64(now - ft.started)
 	if memSec := float64(now-ft.started) - ft.compute0/m.coreSpeed[ft.core]; memSec > 0 {
 		m.counters.MemorySeconds += memSec
+	}
+	if m.attrOn {
+		m.attrComplete(ft, float64(now-ft.started))
 	}
 	m.running[ft.core] = nil
 	for i := range ft.res {

@@ -49,10 +49,12 @@ func (m *Machine) ControllerLoad(node int) float64 {
 // not push: nothing here runs on the simulation hot path). Exported
 // metrics, per DESIGN.md §9:
 //
-//	machine_mc_bytes_total{node=N}     service demand on node N's controller
-//	machine_mc_utilization{node=N}     bytes / (elapsed * peak BW)
-//	machine_mc_queue_depth{node=N}     mean queue-pressure load (needs EnableObs)
-//	machine_link_bytes_total{link=S}   demand on inter-socket link S
+//	machine_mc_bytes_total{node=N}         realized traffic on node N's controller
+//	machine_mc_demand_bytes_total{node=N}  pre-jitter service demand on the controller
+//	machine_mc_utilization{node=N}         realized bytes / (elapsed * peak BW)
+//	machine_mc_queue_depth{node=N}         mean queue-pressure load (needs EnableObs)
+//	machine_link_bytes_total{link=S}       realized traffic on inter-socket link S
+//	machine_link_demand_bytes_total{link=S} pre-jitter demand on the link
 //	machine_l3_hits_total{ccd=N}       block-granular L3 hits per CCD
 //	machine_l3_misses_total{ccd=N}     block-granular L3 misses per CCD
 //	machine_tasks_total, machine_compute_seconds_total,
@@ -68,19 +70,26 @@ func (m *Machine) FillObs(reg *obs.Registry) {
 	elapsed := m.eng.Now().Seconds()
 	for r := 0; r < m.res.Count(); r++ {
 		id := memsys.ResourceID(r)
-		bytes := m.counters.ResourceBytes[r]
+		demand := m.counters.ResourceBytes[r]
+		realized := m.counters.RealizedBytes[r]
 		if m.res.IsController(id) {
 			node := obs.Label("node", r)
-			sc.Counter("mc_bytes_total" + node).Add(bytes)
+			sc.Counter("mc_bytes_total" + node).Add(realized)
+			sc.Counter("mc_demand_bytes_total" + node).Add(demand)
 			if elapsed > 0 {
-				sc.Gauge("mc_utilization" + node).Set(bytes / (elapsed * m.res.Bandwidth(id)))
+				// Utilization is physical: the traffic the fluid model
+				// actually drained (jitter-scaled), not the pre-jitter
+				// service demand — under nonzero jitter the two differ.
+				sc.Gauge("mc_utilization" + node).Set(realized / (elapsed * m.res.Bandwidth(id)))
 			}
 			if m.obsOn && elapsed > 0 {
 				m.obsAccumLoad(r)
 				sc.Gauge("mc_queue_depth" + node).Set(m.loadIntSec[r] / elapsed)
 			}
-		} else if bytes > 0 {
-			sc.Counter("link_bytes_total" + obs.Label("link", m.res.Name(id))).Add(bytes)
+		} else if demand > 0 || realized > 0 {
+			link := obs.Label("link", m.res.Name(id))
+			sc.Counter("link_bytes_total" + link).Add(realized)
+			sc.Counter("link_demand_bytes_total" + link).Add(demand)
 		}
 	}
 	for ccd := 0; ccd < m.caches.NumCCDs(); ccd++ {

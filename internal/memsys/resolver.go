@@ -22,11 +22,19 @@ type Demand struct {
 	// additionally scaled by the access pattern's QueuePressure. The
 	// machine derives each task's contention-load contribution from it.
 	ResLoad []float64
+	// LocalBytes/LocalLoad are the counterfactual demand the same accesses
+	// would have placed on a single node-local controller: raw DRAM bytes
+	// with no distance inflation and no link traffic. The attribution
+	// engine prices the locality penalty off this baseline.
+	LocalBytes float64
+	LocalLoad  float64
 }
 
 // Reset clears a demand for reuse, sized for the given resource count.
 func (d *Demand) Reset(resources int) {
 	d.CacheSeconds = 0
+	d.LocalBytes = 0
+	d.LocalLoad = 0
 	if cap(d.ResBytes) < resources {
 		d.ResBytes = make([]float64, resources)
 		d.ResLoad = make([]float64, resources)
@@ -109,6 +117,8 @@ func (rv *Resolver) Resolve(core int, accesses []Access, dem *Demand) {
 			ctrl := rv.res.Controller(home)
 			dem.ResBytes[ctrl] += raw * dist
 			dem.ResLoad[ctrl] += raw * dist * pressure
+			dem.LocalBytes += raw
+			dem.LocalLoad += raw * pressure
 			homeSocket := rv.topo.SocketOfNode(home)
 			if homeSocket != coreSocket {
 				link := rv.res.Link(coreSocket, homeSocket)

@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// TaskAttr decomposes the virtual wall time of a set of task executions.
+// Every task's `end − start` is split exactly (see DESIGN.md §14) into
+//
+//	elapsed = ideal compute + core-speed degradation
+//	        + ideal memory + locality penalty + interference stall
+//	        + residual
+//
+// where "ideal compute" is the task's jittered compute demand at unit core
+// speed, "core-speed degradation" is the (signed) extra time from the
+// core's drawn speed, "ideal memory" is the memory time the task would take
+// alone with all of its traffic local to its home node, "locality" is the
+// (signed) extra solo time caused by where its pages actually live, and
+// "interference" is the remaining stall caused by sharing resources with
+// other tasks and external disturbances. Residual is the floating-point
+// closure term and stays within ulps of zero.
+type TaskAttr struct {
+	Tasks           uint64  `json:"tasks"`
+	ElapsedSec      float64 `json:"elapsedSec"`
+	IdealComputeSec float64 `json:"idealComputeSec"`
+	CoreSpeedSec    float64 `json:"coreSpeedSec"`
+	IdealMemorySec  float64 `json:"idealMemorySec"`
+	LocalitySec     float64 `json:"localitySec"`
+	InterferenceSec float64 `json:"interferenceSec"`
+	ResidualSec     float64 `json:"residualSec"`
+}
+
+// TermSum returns the sum of the decomposition terms. Conservation holds
+// when TermSum ≈ ElapsedSec.
+func (t TaskAttr) TermSum() float64 {
+	return t.IdealComputeSec + t.CoreSpeedSec + t.IdealMemorySec +
+		t.LocalitySec + t.InterferenceSec + t.ResidualSec
+}
+
+// LoopAttr decomposes a loop's makespan over its active threads into
+// core-seconds:
+//
+//	CoreSec = Σ makespan·threads
+//	        = SelectSec + TaskSec + StealSec + ImbalanceSec + BarrierSec
+//	        + ResidualSec
+//
+// SelectSec and BarrierSec are the thread-count-scaled select-overhead and
+// barrier walls; TaskSec is time inside task execution; StealSec is wall
+// time spent in dispatch/steal transitions; ImbalanceSec is idle time
+// between a thread running out of work and the last task finishing.
+// QueueWaitSec is informational (task release → dispatch, summed over
+// tasks) and sits outside the conservation identity because it overlaps
+// with time other threads spend executing.
+type LoopAttr struct {
+	Executions   int     `json:"executions"`
+	MakespanSec  float64 `json:"makespanSec"`
+	CoreSec      float64 `json:"coreSec"`
+	SelectSec    float64 `json:"selectSec"`
+	TaskSec      float64 `json:"taskSec"`
+	StealSec     float64 `json:"stealSec"`
+	ImbalanceSec float64 `json:"imbalanceSec"`
+	BarrierSec   float64 `json:"barrierSec"`
+	QueueWaitSec float64 `json:"queueWaitSec"`
+	ResidualSec  float64 `json:"residualSec"`
+}
+
+// TermSum returns the sum of the core-second decomposition terms.
+// Conservation holds when TermSum ≈ CoreSec.
+func (l LoopAttr) TermSum() float64 {
+	return l.SelectSec + l.TaskSec + l.StealSec + l.ImbalanceSec +
+		l.BarrierSec + l.ResidualSec
+}
+
+// AttrSnapshot is the attribution report of one run (or several merged
+// runs). Like Snapshot, its JSON form is byte-deterministic for identical
+// contents, and MergeAttr folds per-rep snapshots in input order so the
+// jobs=1 vs jobs=N byte-identity gate holds for attribution output too.
+type AttrSnapshot struct {
+	Runs int      `json:"runs"`
+	Task TaskAttr `json:"task"`
+	// Loops maps loop name → per-loop makespan decomposition, summed over
+	// the loop's executions.
+	Loops map[string]LoopAttr `json:"loops,omitempty"`
+	// Interference maps resource name ("node0", "link0-1", "port") →
+	// interference-stall seconds attributed to tasks whose solo memory
+	// bottleneck was that resource.
+	Interference map[string]float64 `json:"interference,omitempty"`
+}
+
+// MergeAttr combines per-run attribution snapshots, in order, into one
+// aggregate: every term is summed. Nil snapshots are skipped; the result is
+// nil when every input is nil. Map keys are folded in sorted order so float
+// accumulation never depends on map iteration.
+func MergeAttr(snaps []*AttrSnapshot) *AttrSnapshot {
+	var out *AttrSnapshot
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		if out == nil {
+			out = &AttrSnapshot{}
+		}
+		out.Runs += s.Runs
+		out.Task.Tasks += s.Task.Tasks
+		out.Task.ElapsedSec += s.Task.ElapsedSec
+		out.Task.IdealComputeSec += s.Task.IdealComputeSec
+		out.Task.CoreSpeedSec += s.Task.CoreSpeedSec
+		out.Task.IdealMemorySec += s.Task.IdealMemorySec
+		out.Task.LocalitySec += s.Task.LocalitySec
+		out.Task.InterferenceSec += s.Task.InterferenceSec
+		out.Task.ResidualSec += s.Task.ResidualSec
+		for _, name := range sortedLoopKeys(s.Loops) {
+			if out.Loops == nil {
+				out.Loops = make(map[string]LoopAttr)
+			}
+			a, b := out.Loops[name], s.Loops[name]
+			a.Executions += b.Executions
+			a.MakespanSec += b.MakespanSec
+			a.CoreSec += b.CoreSec
+			a.SelectSec += b.SelectSec
+			a.TaskSec += b.TaskSec
+			a.StealSec += b.StealSec
+			a.ImbalanceSec += b.ImbalanceSec
+			a.BarrierSec += b.BarrierSec
+			a.QueueWaitSec += b.QueueWaitSec
+			a.ResidualSec += b.ResidualSec
+			out.Loops[name] = a
+		}
+		for _, name := range sortedKeys(s.Interference) {
+			if out.Interference == nil {
+				out.Interference = make(map[string]float64)
+			}
+			out.Interference[name] += s.Interference[name]
+		}
+	}
+	return out
+}
+
+func sortedLoopKeys(m map[string]LoopAttr) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// AttrTolerance returns the conservation tolerance for a decomposition at
+// the given scale: ulp-proportional with an absolute floor, generous
+// against float accumulation across millions of tasks yet far below any
+// real dropped term.
+func AttrTolerance(scale float64) float64 {
+	return 1e-9*math.Abs(scale) + 1e-12
+}
+
+// CheckConservation verifies both conservation laws on the snapshot: the
+// per-task terms sum to the measured elapsed seconds, and every loop's
+// terms sum to its measured core-seconds. It returns nil when both hold
+// within AttrTolerance.
+func (s *AttrSnapshot) CheckConservation() error {
+	if s == nil {
+		return nil
+	}
+	if d := s.Task.TermSum() - s.Task.ElapsedSec; math.Abs(d) > AttrTolerance(s.Task.ElapsedSec) {
+		return fmt.Errorf("obs: task attribution terms sum to %.12g, elapsed %.12g (gap %.3g)",
+			s.Task.TermSum(), s.Task.ElapsedSec, d)
+	}
+	for _, name := range sortedLoopKeys(s.Loops) {
+		l := s.Loops[name]
+		if d := l.TermSum() - l.CoreSec; math.Abs(d) > AttrTolerance(l.CoreSec) {
+			return fmt.Errorf("obs: loop %q attribution terms sum to %.12g core-seconds, measured %.12g (gap %.3g)",
+				name, l.TermSum(), l.CoreSec, d)
+		}
+	}
+	return nil
+}
+
+// WritePrometheus renders the attribution snapshot in the Prometheus text
+// exposition format as `ilan_attr_*_seconds_total` families. The terms are
+// emitted as gauges because two of them (core-speed, locality) are signed.
+func (s *AttrSnapshot) WritePrometheus(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	emit := func(name string, v float64) error {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", baseName(name), name, v); err != nil {
+			return err
+		}
+		return nil
+	}
+	taskTerms := []struct {
+		name string
+		v    float64
+	}{
+		{"ilan_attr_task_elapsed_seconds_total", s.Task.ElapsedSec},
+		{"ilan_attr_task_ideal_compute_seconds_total", s.Task.IdealComputeSec},
+		{"ilan_attr_task_core_speed_seconds_total", s.Task.CoreSpeedSec},
+		{"ilan_attr_task_ideal_memory_seconds_total", s.Task.IdealMemorySec},
+		{"ilan_attr_task_locality_seconds_total", s.Task.LocalitySec},
+		{"ilan_attr_task_interference_seconds_total", s.Task.InterferenceSec},
+		{"ilan_attr_task_residual_seconds_total", s.Task.ResidualSec},
+	}
+	for _, t := range taskTerms {
+		if err := emit(t.name, t.v); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE ilan_attr_tasks_total counter\nilan_attr_tasks_total %d\n", s.Task.Tasks); err != nil {
+		return err
+	}
+	if len(s.Interference) > 0 {
+		if _, err := fmt.Fprintf(w, "# TYPE ilan_attr_interference_seconds_total gauge\n"); err != nil {
+			return err
+		}
+		for _, name := range sortedKeys(s.Interference) {
+			if _, err := fmt.Fprintf(w, "ilan_attr_interference_seconds_total{resource=%q} %g\n",
+				name, s.Interference[name]); err != nil {
+				return err
+			}
+		}
+	}
+	loopFams := []struct {
+		fam  string
+		term func(LoopAttr) float64
+	}{
+		{"ilan_attr_loop_core_seconds_total", func(l LoopAttr) float64 { return l.CoreSec }},
+		{"ilan_attr_loop_select_seconds_total", func(l LoopAttr) float64 { return l.SelectSec }},
+		{"ilan_attr_loop_task_seconds_total", func(l LoopAttr) float64 { return l.TaskSec }},
+		{"ilan_attr_loop_steal_seconds_total", func(l LoopAttr) float64 { return l.StealSec }},
+		{"ilan_attr_loop_imbalance_seconds_total", func(l LoopAttr) float64 { return l.ImbalanceSec }},
+		{"ilan_attr_loop_barrier_seconds_total", func(l LoopAttr) float64 { return l.BarrierSec }},
+		{"ilan_attr_loop_queue_wait_seconds_total", func(l LoopAttr) float64 { return l.QueueWaitSec }},
+	}
+	names := sortedLoopKeys(s.Loops)
+	for _, f := range loopFams {
+		if len(names) == 0 {
+			break
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", f.fam); err != nil {
+			return err
+		}
+		for _, name := range names {
+			if _, err := fmt.Fprintf(w, "%s{loop=%q} %g\n", f.fam, name, f.term(s.Loops[name])); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

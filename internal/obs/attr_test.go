@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleAttr() *AttrSnapshot {
+	task := TaskAttr{
+		Tasks:           4,
+		IdealComputeSec: 1.0,
+		CoreSpeedSec:    0.125,
+		IdealMemorySec:  0.5,
+		LocalitySec:     0.25,
+		InterferenceSec: 0.375,
+		ResidualSec:     0,
+	}
+	task.ElapsedSec = task.TermSum()
+	loop := LoopAttr{
+		Executions:   2,
+		MakespanSec:  1.5,
+		SelectSec:    0.25,
+		TaskSec:      20,
+		StealSec:     0.5,
+		ImbalanceSec: 2,
+		BarrierSec:   1.25,
+		QueueWaitSec: 3,
+	}
+	loop.CoreSec = loop.TermSum()
+	return &AttrSnapshot{
+		Runs:         1,
+		Task:         task,
+		Loops:        map[string]LoopAttr{"cg": loop},
+		Interference: map[string]float64{"node0": 0.25, "port": 0.125},
+	}
+}
+
+// TestCheckConservationCatchesDroppedTerm: the checker must accept an exact
+// decomposition and reject one missing any single term.
+func TestCheckConservationCatchesDroppedTerm(t *testing.T) {
+	s := sampleAttr()
+	if err := s.CheckConservation(); err != nil {
+		t.Fatalf("exact snapshot rejected: %v", err)
+	}
+	drop := sampleAttr()
+	drop.Task.LocalitySec = 0 // dropped term → gap far above tolerance
+	if err := drop.CheckConservation(); err == nil {
+		t.Fatal("dropped task locality term passed conservation")
+	}
+	dropLoop := sampleAttr()
+	la := dropLoop.Loops["cg"]
+	la.ImbalanceSec = 0
+	dropLoop.Loops["cg"] = la
+	if err := dropLoop.CheckConservation(); err == nil {
+		t.Fatal("dropped loop imbalance term passed conservation")
+	}
+	// Residual absorbing floating-point noise at ulp scale still passes.
+	ulp := sampleAttr()
+	ulp.Task.ResidualSec = 1e-13
+	ulp.Task.ElapsedSec = ulp.Task.TermSum() + 1e-13
+	if err := ulp.CheckConservation(); err != nil {
+		t.Fatalf("ulp-scale residual rejected: %v", err)
+	}
+	var nilSnap *AttrSnapshot
+	if err := nilSnap.CheckConservation(); err != nil {
+		t.Fatalf("nil snapshot rejected: %v", err)
+	}
+}
+
+// TestMergeAttrSumsEveryField: merging must add every additive field and
+// union the maps; nil inputs are skipped; all-nil merges to nil.
+func TestMergeAttrSumsEveryField(t *testing.T) {
+	a, b := sampleAttr(), sampleAttr()
+	b.Loops["extra"] = LoopAttr{Executions: 1, MakespanSec: 1, CoreSec: 1, TaskSec: 1}
+	b.Interference["link0-1"] = 0.5
+
+	m := MergeAttr([]*AttrSnapshot{a, nil, b})
+	if m.Runs != 2 {
+		t.Fatalf("Runs = %d, want 2", m.Runs)
+	}
+	if m.Task.Tasks != 8 || m.Task.ElapsedSec != 2*a.Task.ElapsedSec {
+		t.Fatalf("task totals not summed: %+v", m.Task)
+	}
+	if got := m.Loops["cg"].Executions; got != 4 {
+		t.Fatalf("cg executions = %d, want 4", got)
+	}
+	if got := m.Loops["extra"].Executions; got != 1 {
+		t.Fatalf("extra loop lost in merge: %d executions", got)
+	}
+	if got := m.Interference["node0"]; got != 0.5 {
+		t.Fatalf("node0 interference = %g, want 0.5", got)
+	}
+	if got := m.Interference["link0-1"]; got != 0.5 {
+		t.Fatalf("link0-1 interference = %g, want 0.5", got)
+	}
+	// Conservation survives merging: the laws are linear.
+	if err := m.CheckConservation(); err != nil {
+		t.Fatalf("merged snapshot violates conservation: %v", err)
+	}
+	if MergeAttr([]*AttrSnapshot{nil, nil}) != nil {
+		t.Fatal("all-nil merge produced a snapshot")
+	}
+}
+
+// TestMergeAttrOrderDeterministic: merging k copies must yield the exact
+// same floats regardless of how the copies were grouped, because map keys
+// are folded in sorted order — the property behind the jobs=1 vs jobs=N
+// byte-identity gate.
+func TestMergeAttrOrderDeterministic(t *testing.T) {
+	mk := func() []*AttrSnapshot {
+		return []*AttrSnapshot{sampleAttr(), sampleAttr(), sampleAttr(), sampleAttr()}
+	}
+	flat := MergeAttr(mk())
+	s := mk()
+	grouped := MergeAttr([]*AttrSnapshot{MergeAttr(s[:2]), MergeAttr(s[2:])})
+	jf, err := json.Marshal(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jg, err := json.Marshal(grouped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(jf, jg) {
+		t.Fatalf("merge grouping changed the result:\n%s\nvs\n%s", jf, jg)
+	}
+}
+
+// TestAttrWritePrometheus: every term family appears with the right value
+// and deterministic label order.
+func TestAttrWritePrometheus(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleAttr().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"ilan_attr_task_elapsed_seconds_total 2.25\n",
+		"ilan_attr_task_ideal_compute_seconds_total 1\n",
+		"ilan_attr_task_core_speed_seconds_total 0.125\n",
+		"ilan_attr_task_locality_seconds_total 0.25\n",
+		"ilan_attr_task_interference_seconds_total 0.375\n",
+		"ilan_attr_tasks_total 4\n",
+		"ilan_attr_interference_seconds_total{resource=\"node0\"} 0.25\n",
+		"ilan_attr_interference_seconds_total{resource=\"port\"} 0.125\n",
+		"ilan_attr_loop_core_seconds_total{loop=\"cg\"} 24\n",
+		"ilan_attr_loop_queue_wait_seconds_total{loop=\"cg\"} 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// node0 must precede port (sorted label order).
+	if strings.Index(out, "resource=\"node0\"") > strings.Index(out, "resource=\"port\"") {
+		t.Error("interference labels not in sorted order")
+	}
+}
+
+// TestAttrToleranceScales: proportional at scale, floored near zero.
+func TestAttrToleranceScales(t *testing.T) {
+	if tol := AttrTolerance(0); tol != 1e-12 {
+		t.Fatalf("floor = %g, want 1e-12", tol)
+	}
+	if tol := AttrTolerance(1e6); math.Abs(tol-1e-3) > 1e-10 {
+		t.Fatalf("tolerance at 1e6 = %g, want ~1e-3", tol)
+	}
+	if AttrTolerance(-2) != AttrTolerance(2) {
+		t.Fatal("tolerance not symmetric in sign")
+	}
+}

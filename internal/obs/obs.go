@@ -28,6 +28,7 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -146,6 +147,50 @@ func (h *Histogram) snapshot() HistSnapshot {
 		Sum:    h.sum,
 		Count:  h.n,
 	}
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the recorded
+// distribution by linear interpolation within the bucket the quantile rank
+// falls into, the same estimator as Prometheus' histogram_quantile: a
+// bucket's samples are assumed uniform between its lower and upper bounds,
+// the first bucket between 0 and its bound. A rank landing in the +Inf
+// bucket clamps to the last finite bound (the estimator cannot see past
+// it). Returns NaN when the histogram is empty.
+func (h HistSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Counts) == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	cum := uint64(0)
+	for i, c := range h.Counts {
+		if float64(cum+c) < rank || c == 0 {
+			cum += c
+			continue
+		}
+		if i >= len(h.Bounds) {
+			// +Inf bucket: clamp to the last finite bound.
+			if len(h.Bounds) == 0 {
+				return math.NaN()
+			}
+			return h.Bounds[len(h.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		hi := h.Bounds[i]
+		return lo + (hi-lo)*(rank-float64(cum))/float64(c)
+	}
+	if len(h.Bounds) == 0 {
+		return math.NaN()
+	}
+	return h.Bounds[len(h.Bounds)-1]
 }
 
 // ExpBuckets returns n exponential bucket bounds starting at lo with the

@@ -86,6 +86,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			return
 		}
 	}
+	// Attribution series ride along when the campaign runs with -attr, so
+	// the same scrape that watches counters sees where time is going.
+	if attr := s.tr.MergedAttr(); attr != nil {
+		if err := attr.WritePrometheus(w); err != nil {
+			return
+		}
+	}
 	p := s.tr.Snapshot()
 	fmt.Fprintf(w, "# TYPE ilan_campaign_units_total counter\n")
 	fmt.Fprintf(w, "ilan_campaign_units_total %d\n", p.UnitsTotal)

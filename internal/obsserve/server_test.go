@@ -47,7 +47,7 @@ func TestProgressEndpoint(t *testing.T) {
 		{Name: "CG/baseline", Units: 2},
 		{Name: "CG/ilan", Units: 2},
 	})
-	tr.UnitDone(0, 0, nil, nil)
+	tr.UnitDone(0, 0, nil, nil, nil)
 
 	code, body := get(t, base+"/progress")
 	if code != http.StatusOK {
@@ -61,9 +61,9 @@ func TestProgressEndpoint(t *testing.T) {
 		t.Fatalf("progress = %+v", p)
 	}
 
-	tr.UnitDone(0, 1, nil, nil)
-	tr.UnitDone(1, 0, nil, nil)
-	tr.UnitDone(1, 1, nil, nil)
+	tr.UnitDone(0, 1, nil, nil, nil)
+	tr.UnitDone(1, 0, nil, nil, nil)
+	tr.UnitDone(1, 1, nil, nil, nil)
 	tr.Finish(nil)
 	_, body = get(t, base+"/progress")
 	if err := json.Unmarshal([]byte(body), &p); err != nil {
@@ -90,7 +90,7 @@ func TestMetricsEndpoint(t *testing.T) {
 
 	run := obs.NewRun(obs.Options{})
 	run.Scope("taskrt").Counter("steals_local_total").Add(5)
-	tr.UnitDone(0, 0, run.Snapshot(), nil)
+	tr.UnitDone(0, 0, run.Snapshot(), nil, nil)
 
 	_, body = get(t, base+"/metrics")
 	if !strings.Contains(body, "taskrt_steals_local_total 5") {
@@ -166,7 +166,7 @@ func TestEventsEndpointStreams(t *testing.T) {
 	go func() {
 		// The handler subscribes before writing the header we already
 		// received, so events from here on are not lost.
-		tr.UnitDone(0, 0, nil, nil)
+		tr.UnitDone(0, 0, nil, nil, nil)
 		tr.Finish(nil)
 	}()
 

@@ -46,6 +46,12 @@ type Cell struct {
 	// given seed regardless of Jobs). Present only when the campaign ran
 	// with task tracing enabled; obsdump's perfetto exporter reads it.
 	Trace *taskrt.Trace `json:"trace,omitempty"`
+	// Attr is the cell's merged virtual-time attribution report (DESIGN.md
+	// §14). Campaigns write it to a sidecar file (ilanexp -attr) rather
+	// than into -out, so the main results file is byte-identical with and
+	// without attribution; an attribution file carries Bench/Kind/Attr and
+	// no samples.
+	Attr *obs.AttrSnapshot `json:"attr,omitempty"`
 }
 
 // MeanTime returns the cell's mean elapsed seconds.
@@ -73,6 +79,34 @@ func FromMatrix(mx *harness.Matrix, cfg harness.Config, label string) *File {
 	return f
 }
 
+// AttrFromMatrix converts a campaign matrix into an attribution-only file:
+// one cell per (benchmark, scheduler) carrying the merged attribution
+// report and no timing samples. Written as a sidecar next to -out so the
+// main results file stays byte-identical whether or not the campaign ran
+// with attribution enabled. Returns nil when no cell has attribution (the
+// campaign ran without -attr).
+func AttrFromMatrix(mx *harness.Matrix, cfg harness.Config, label string) *File {
+	f := &File{
+		Version: FormatVersion,
+		Label:   label,
+		Reps:    cfg.Reps,
+		Seed:    cfg.Seed,
+		Class:   cfg.Class.String(),
+	}
+	any := false
+	mx.EachCell(func(c *harness.Cell) {
+		cell := Cell{Bench: c.Bench, Kind: c.Kind.String(), Attr: c.MergedAttr()}
+		if cell.Attr != nil {
+			any = true
+		}
+		f.Cells = append(f.Cells, cell)
+	})
+	if !any {
+		return nil
+	}
+	return f
+}
+
 // Write serializes the file as indented JSON.
 func (f *File) Write(w io.Writer) error {
 	enc := json.NewEncoder(w)
@@ -97,7 +131,9 @@ func Read(r io.Reader) (*File, error) {
 			return nil, fmt.Errorf("results: duplicate cell %s", key)
 		}
 		seen[key] = true
-		if len(c.Times) == 0 {
+		// Attribution sidecar files carry report-only cells; everything
+		// else must have at least one timing sample.
+		if len(c.Times) == 0 && c.Attr == nil {
 			return nil, fmt.Errorf("results: cell %s has no samples", key)
 		}
 	}
@@ -213,9 +249,17 @@ func Compare(a, b *File, tol float64) []Diff {
 				})
 			}
 		}
-		check("time", stats.Mean(ca.Times), stats.Mean(cb.Times))
-		check("overhead", stats.Mean(ca.Overheads), stats.Mean(cb.Overheads))
-		check("threads", stats.Mean(ca.WeightedThreads), stats.Mean(cb.WeightedThreads))
+		// Attribution-only cells (sidecar files) carry no samples on
+		// either side; a mean over zero samples is NaN, which would trip
+		// the NaN gate on files that are merely sample-free, so the timing
+		// checks run only when samples exist at all. A cell with samples
+		// on exactly one side still reaches the gate (NaN vs number) —
+		// that is a real file mismatch.
+		if len(ca.Times) > 0 || len(cb.Times) > 0 {
+			check("time", stats.Mean(ca.Times), stats.Mean(cb.Times))
+			check("overhead", stats.Mean(ca.Overheads), stats.Mean(cb.Overheads))
+			check("threads", stats.Mean(ca.WeightedThreads), stats.Mean(cb.WeightedThreads))
+		}
 	}
 	return diffs
 }
@@ -232,7 +276,8 @@ type ObsDiff struct {
 	// Kind of discrepancy: "drift" (value moved beyond tolerance),
 	// "missing" (metric present only in the old file), "new" (metric
 	// present only in the new file), "nan" (either side is NaN — never
-	// within tolerance), or "no-obs" (one cell has no snapshot at all).
+	// within tolerance), "no-obs" (one cell has no snapshot at all), or
+	// "no-attr" (one cell has no attribution report).
 	What string
 }
 
@@ -245,6 +290,8 @@ func (d ObsDiff) String() string {
 		return fmt.Sprintf("%-8s %-14s obs metric %s new in new file", d.Bench, d.Kind, d.Metric)
 	case "no-obs":
 		return fmt.Sprintf("%-8s %-14s obs snapshot present in only one file", d.Bench, d.Kind)
+	case "no-attr":
+		return fmt.Sprintf("%-8s %-14s attribution report present in only one file", d.Bench, d.Kind)
 	case "nan":
 		return fmt.Sprintf("%-8s %-14s obs %s is NaN (%g -> %g)",
 			d.Bench, d.Kind, d.Metric, d.Old, d.New)
@@ -283,6 +330,7 @@ func CompareObs(a, b *File, tol float64) []ObsDiff {
 	var diffs []ObsDiff
 	for _, k := range keys {
 		ca, cb := ia[k], ib[k]
+		diffs = append(diffs, compareCellAttr(ca, cb, tol)...)
 		if ca.Obs == nil && cb.Obs == nil {
 			continue
 		}
@@ -353,6 +401,106 @@ func CompareObs(a, b *File, tol float64) []ObsDiff {
 						Metric: name, Old: oldV, New: newV,
 						Rel: (newV - oldV) / math.Max(math.Abs(oldV), 1e-300), What: "drift"})
 				}
+			}
+		}
+	}
+	return diffs
+}
+
+// attrVals flattens an attribution report into named scalar terms for
+// comparison: the campaign-wide task decomposition, per-resource
+// interference attribution, and every per-loop makespan term.
+func attrVals(a *obs.AttrSnapshot) map[string]float64 {
+	m := map[string]float64{
+		"attr_runs":               float64(a.Runs),
+		"attr_task_tasks":         float64(a.Task.Tasks),
+		"attr_task_elapsed":       a.Task.ElapsedSec,
+		"attr_task_ideal_compute": a.Task.IdealComputeSec,
+		"attr_task_core_speed":    a.Task.CoreSpeedSec,
+		"attr_task_ideal_memory":  a.Task.IdealMemorySec,
+		"attr_task_locality":      a.Task.LocalitySec,
+		"attr_task_interference":  a.Task.InterferenceSec,
+		"attr_task_residual":      a.Task.ResidualSec,
+	}
+	for name, v := range a.Interference {
+		m["attr_interference["+name+"]"] = v
+	}
+	for name, l := range a.Loops {
+		p := "attr_loop[" + name + "]_"
+		m[p+"executions"] = float64(l.Executions)
+		m[p+"makespan"] = l.MakespanSec
+		m[p+"core"] = l.CoreSec
+		m[p+"select"] = l.SelectSec
+		m[p+"task"] = l.TaskSec
+		m[p+"steal"] = l.StealSec
+		m[p+"imbalance"] = l.ImbalanceSec
+		m[p+"barrier"] = l.BarrierSec
+		m[p+"queue_wait"] = l.QueueWaitSec
+		m[p+"residual"] = l.ResidualSec
+	}
+	return m
+}
+
+// isAttrResidual reports whether the flattened attr metric is a residual
+// term. Residuals are floating-point closures bounded near zero by the
+// conservation invariant (DESIGN.md §14), so their *relative* drift is
+// noise (1e-18 -> 3e-18 is a 200% move); they are NaN-gated but excluded
+// from drift comparison.
+func isAttrResidual(name string) bool {
+	return len(name) >= len("_residual") && name[len(name)-len("_residual"):] == "_residual"
+}
+
+// compareCellAttr diffs two cells' attribution reports term by term, under
+// the same tolerance and NaN-gate discipline as the counter comparison.
+// Cells without attribution on either side are skipped (campaign ran
+// without -attr); attribution on exactly one side is reported.
+func compareCellAttr(ca, cb *Cell, tol float64) []ObsDiff {
+	if ca.Attr == nil && cb.Attr == nil {
+		return nil
+	}
+	if ca.Attr == nil || cb.Attr == nil {
+		return []ObsDiff{{Bench: ca.Bench, Kind: ca.Kind, What: "no-attr"}}
+	}
+	oldVals := attrVals(ca.Attr)
+	newVals := attrVals(cb.Attr)
+	names := make([]string, 0, len(oldVals)+len(newVals))
+	for name := range oldVals {
+		names = append(names, name)
+	}
+	for name := range newVals {
+		if _, ok := oldVals[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var diffs []ObsDiff
+	for _, name := range names {
+		oldV, inOld := oldVals[name]
+		newV, inNew := newVals[name]
+		switch {
+		case !inNew:
+			diffs = append(diffs, ObsDiff{Bench: ca.Bench, Kind: ca.Kind,
+				Metric: name, Old: oldV, What: "missing"})
+		case !inOld:
+			diffs = append(diffs, ObsDiff{Bench: ca.Bench, Kind: ca.Kind,
+				Metric: name, New: newV, What: "new"})
+		case math.IsNaN(oldV) || math.IsNaN(newV):
+			// An attribution term gone NaN means the decomposition itself
+			// broke (a 0/0 in solo-time or a poisoned elapsed); it must
+			// never pass because NaN compares false against tolerance.
+			diffs = append(diffs, ObsDiff{Bench: ca.Bench, Kind: ca.Kind,
+				Metric: name, Old: oldV, New: newV, What: "nan"})
+		case isAttrResidual(name):
+			continue
+		default:
+			if oldV == 0 && newV == 0 {
+				continue
+			}
+			rel := math.Abs(newV-oldV) / math.Max(math.Abs(oldV), 1e-300)
+			if rel > tol {
+				diffs = append(diffs, ObsDiff{Bench: ca.Bench, Kind: ca.Kind,
+					Metric: name, Old: oldV, New: newV,
+					Rel: (newV - oldV) / math.Max(math.Abs(oldV), 1e-300), What: "drift"})
 			}
 		}
 	}

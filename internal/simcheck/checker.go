@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"github.com/ilan-sched/ilan/internal/machine"
+	"github.com/ilan-sched/ilan/internal/obs"
 	"github.com/ilan-sched/ilan/internal/sim"
 	"github.com/ilan-sched/ilan/internal/taskrt"
 	"github.com/ilan-sched/ilan/internal/topology"
@@ -68,7 +69,10 @@ type Checker struct {
 	steals int
 }
 
-// Attach builds a Checker and installs it as the runtime's probe.
+// Attach builds a Checker and installs it as the runtime's probe. It also
+// enables virtual-time attribution so the conservation law (DESIGN.md §14)
+// is fuzzed alongside the scheduling invariants; attribution is pure
+// observation, so checked-run outputs stay byte-identical.
 func Attach(rt *taskrt.Runtime) *Checker {
 	c := &Checker{
 		rt:           rt,
@@ -79,6 +83,7 @@ func Attach(rt *taskrt.Runtime) *Checker {
 		everStarted:  make(map[*taskrt.Task]bool),
 		activeByNode: make([][]int, rt.Topology().NumNodes()),
 	}
+	rt.EnableAttr()
 	rt.SetProbe(c)
 	return c
 }
@@ -243,6 +248,40 @@ func (c *Checker) TaskDone(core int, task *taskrt.Task) {
 	}
 	delete(c.inFlight, task)
 	c.completed++
+	// Per-task attribution conservation (DESIGN.md §14). Two laws: the
+	// terms must re-sum to the measured elapsed time, and the residual —
+	// the floating-point closure — must stay within ulps of zero. The
+	// second is the strong one: a dropped or double-counted term lands in
+	// the residual, so it fails whenever that term is nonzero; the first
+	// guards the re-sum itself (e.g. a term a merge forgot to carry).
+	if c.mach.AttrEnabled() {
+		a := c.mach.LastTaskAttr()
+		tol := obs.AttrTolerance(a.ElapsedSec)
+		if !within(a.TermSum(), a.ElapsedSec, tol) {
+			c.violate("attr-task-conservation",
+				"task [%d,%d) terms sum to %.17g, elapsed %.17g (tol %.3g)",
+				task.Lo, task.Hi, a.TermSum(), a.ElapsedSec, tol)
+		}
+		if !within(a.ResidualSec, 0, tol) {
+			c.violate("attr-task-exact",
+				"task [%d,%d) residual %.17g exceeds tolerance %.3g (elapsed %.17g)",
+				task.Lo, task.Hi, a.ResidualSec, tol, a.ElapsedSec)
+		}
+		if a.InterferenceSec < -tol {
+			c.violate("attr-interference-sign",
+				"task [%d,%d) negative interference stall %.17g",
+				task.Lo, task.Hi, a.InterferenceSec)
+		}
+	}
+}
+
+// within reports |got-want| <= tol.
+func within(got, want, tol float64) bool {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
 }
 
 // LoopDone implements taskrt.Probe: task conservation and post-loop
@@ -272,6 +311,26 @@ func (c *Checker) LoopDone(spec *taskrt.LoopSpec, plan *taskrt.Plan, st *taskrt.
 	}
 	if !c.mach.Quiesced() {
 		c.violate("machine-quiesced", "machine not quiesced after the barrier")
+	}
+	// Loop-level attribution conservation: select + task + steal +
+	// imbalance + barrier + residual must re-sum to makespan × |Active|
+	// core-seconds, and — since every non-residual term is measured
+	// independently (event stamps, park stamps, per-task durations) — the
+	// residual closure must be within ulps of zero. A gap in the thread
+	// accounting (a wake the imbalance sweep missed, a dispatch cost not
+	// counted) shows up as a fat residual here.
+	if la, ok := c.rt.LastLoopAttr(); ok {
+		tol := obs.AttrTolerance(la.CoreSec)
+		if !within(la.TermSum(), la.CoreSec, tol) {
+			c.violate("attr-loop-conservation",
+				"terms sum to %.17g core-seconds, measured %.17g (tol %.3g)",
+				la.TermSum(), la.CoreSec, tol)
+		}
+		if !within(la.ResidualSec, 0, tol) {
+			c.violate("attr-loop-exact",
+				"residual %.17g core-seconds exceeds tolerance %.3g (core-seconds %.17g)",
+				la.ResidualSec, tol, la.CoreSec)
+		}
 	}
 	c.spec, c.plan = nil, nil
 }

@@ -1,0 +1,200 @@
+package taskrt
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ilan-sched/ilan/internal/obs"
+)
+
+// checkLoopAttr asserts the loop conservation law of DESIGN.md §14: the
+// makespan scaled to core-seconds partitions exactly into the runtime's
+// lifecycle terms, with a residual closure at floating-point noise.
+func checkLoopAttr(t *testing.T, la obs.LoopAttr) {
+	t.Helper()
+	if la.MakespanSec <= 0 || la.CoreSec <= 0 {
+		t.Fatalf("degenerate loop attribution: %+v", la)
+	}
+	for _, term := range []struct {
+		name string
+		v    float64
+	}{
+		{"select", la.SelectSec}, {"task", la.TaskSec}, {"steal", la.StealSec},
+		{"imbalance", la.ImbalanceSec}, {"barrier", la.BarrierSec},
+		{"queue-wait", la.QueueWaitSec},
+	} {
+		if term.v < 0 {
+			t.Fatalf("negative %s term %g: %+v", term.name, term.v, la)
+		}
+	}
+	tol := obs.AttrTolerance(la.CoreSec)
+	if d := math.Abs(la.TermSum() - la.CoreSec); d > tol {
+		t.Fatalf("loop terms sum to %.17g, core-seconds are %.17g (gap %g > tol %g)",
+			la.TermSum(), la.CoreSec, d, tol)
+	}
+	if math.Abs(la.ResidualSec) > tol {
+		t.Fatalf("loop residual %.17g exceeds tolerance %g — a lifecycle span "+
+			"is unaccounted", la.ResidualSec, tol)
+	}
+}
+
+// TestLoopAttrConservationSpread: evenly spread tasks — the decomposition
+// must close, with task time dominating and nonzero select/barrier walls.
+func TestLoopAttrConservationSpread(t *testing.T) {
+	rt := newTestRuntime(t, &silentScheduler{plan: spreadPlan})
+	rt.EnableAttr()
+	rt.EnableAttr() // idempotent
+	rt.SubmitLoop(computeLoop(1, 256, 256, 1e-5), nil)
+	if err := rt.Machine().Engine().Run(); err != nil {
+		t.Fatal(err)
+	}
+	la, ok := rt.LastLoopAttr()
+	if !ok {
+		t.Fatal("LastLoopAttr not available after a completed loop")
+	}
+	if la.Executions != 1 {
+		t.Fatalf("Executions = %d, want 1", la.Executions)
+	}
+	checkLoopAttr(t, la)
+	if la.SelectSec <= 0 || la.BarrierSec <= 0 {
+		t.Fatalf("select/barrier overhead missing: select=%g barrier=%g", la.SelectSec, la.BarrierSec)
+	}
+	if la.TaskSec <= 0 {
+		t.Fatalf("TaskSec = %g, want > 0", la.TaskSec)
+	}
+}
+
+// TestLoopAttrConservationStealHeavy: everything starts on core 0, so
+// steal/dispatch overhead and queue wait must show up — and the law must
+// still close exactly.
+func TestLoopAttrConservationStealHeavy(t *testing.T) {
+	rt := newTestRuntime(t, &silentScheduler{plan: masterQueuePlan})
+	rt.EnableAttr()
+	rt.SubmitLoop(computeLoop(1, 128, 128, 1e-4), nil)
+	if err := rt.Machine().Engine().Run(); err != nil {
+		t.Fatal(err)
+	}
+	la, ok := rt.LastLoopAttr()
+	if !ok {
+		t.Fatal("LastLoopAttr not available")
+	}
+	checkLoopAttr(t, la)
+	if la.StealSec <= 0 {
+		t.Fatalf("StealSec = %g on a master-queue plan, want > 0", la.StealSec)
+	}
+	if la.QueueWaitSec <= 0 {
+		t.Fatalf("QueueWaitSec = %g with 128 tasks queued on one core, want > 0", la.QueueWaitSec)
+	}
+}
+
+// TestAttrSnapshotAccumulatesAcrossLoops: two executions of the same loop
+// fold into one entry with summed terms; the snapshot round-trips through
+// MergeAttr deterministically.
+func TestAttrSnapshotAccumulatesAcrossLoops(t *testing.T) {
+	rt := newTestRuntime(t, &silentScheduler{plan: spreadPlan})
+	rt.EnableAttr()
+	for i := 0; i < 2; i++ {
+		rt.SubmitLoop(computeLoop(1, 64, 64, 1e-5), nil)
+		if err := rt.Machine().Engine().Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := rt.AttrSnapshot()
+	if snap == nil {
+		t.Fatal("AttrSnapshot nil with attribution on")
+	}
+	la, ok := snap.Loops["compute"]
+	if !ok {
+		t.Fatalf("loop %q missing from snapshot: %v", "compute", snap.Loops)
+	}
+	if la.Executions != 2 {
+		t.Fatalf("Executions = %d after two submissions, want 2", la.Executions)
+	}
+	tol := obs.AttrTolerance(la.CoreSec)
+	if d := math.Abs(la.TermSum() - la.CoreSec); d > tol {
+		t.Fatalf("accumulated loop terms sum to %g, core-seconds %g", la.TermSum(), la.CoreSec)
+	}
+	if snap.Task.Tasks == 0 {
+		t.Fatal("machine task totals missing from runtime snapshot")
+	}
+	if err := snap.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	// Merging a snapshot with itself doubles every additive field.
+	m := obs.MergeAttr([]*obs.AttrSnapshot{snap, snap})
+	if m.Runs != 2 || m.Loops["compute"].Executions != 4 {
+		t.Fatalf("MergeAttr: runs=%d execs=%d, want 2 and 4", m.Runs, m.Loops["compute"].Executions)
+	}
+	if got, want := m.Task.ElapsedSec, 2*snap.Task.ElapsedSec; got != want {
+		t.Fatalf("merged ElapsedSec = %g, want %g", got, want)
+	}
+}
+
+// TestRuntimeAttrOffSnapshotNil: without EnableAttr the snapshot is nil and
+// LastLoopAttr reports absence.
+func TestRuntimeAttrOffSnapshotNil(t *testing.T) {
+	rt := newTestRuntime(t, &silentScheduler{plan: spreadPlan})
+	rt.SubmitLoop(computeLoop(1, 16, 16, 1e-5), nil)
+	if err := rt.Machine().Engine().Run(); err != nil {
+		t.Fatal(err)
+	}
+	if snap := rt.AttrSnapshot(); snap != nil {
+		t.Fatalf("AttrSnapshot = %+v with attribution off, want nil", snap)
+	}
+	if _, ok := rt.LastLoopAttr(); ok {
+		t.Fatal("LastLoopAttr reported a value with attribution off")
+	}
+}
+
+// TestLoopAttrOutputNeutral: attribution must not move a single completion —
+// identical Elapsed per loop with it on or off.
+func TestLoopAttrOutputNeutral(t *testing.T) {
+	run := func(attr bool) []float64 {
+		rt := newTestRuntime(t, &silentScheduler{plan: masterQueuePlan})
+		if attr {
+			rt.EnableAttr()
+		}
+		var elapsed []float64
+		for i := 0; i < 3; i++ {
+			rt.SubmitLoop(computeLoop(1, 64, 64, 1e-5),
+				func(st *LoopStats) { elapsed = append(elapsed, float64(st.Elapsed)) })
+			if err := rt.Machine().Engine().Run(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return elapsed
+	}
+	off, on := run(false), run(true)
+	for i := range off {
+		if off[i] != on[i] {
+			t.Fatalf("loop %d elapsed moved with attribution on: %.17g vs %.17g", i, off[i], on[i])
+		}
+	}
+}
+
+// TestDispatchAttrEnabledAllocsZero pins the attribution overhead contract
+// on the runtime hot path: enabling it must add exactly zero allocations
+// per loop, at any task count.
+func TestDispatchAttrEnabledAllocsZero(t *testing.T) {
+	attrAllocs := func(spec *LoopSpec) float64 {
+		rt := newTestRuntime(t, &silentScheduler{plan: spreadPlan})
+		rt.EnableAttr()
+		eng := rt.Machine().Engine()
+		return testing.AllocsPerRun(8, func() {
+			rt.SubmitLoop(spec, nil)
+			if err := eng.Run(); err != nil {
+				panic(err)
+			}
+		})
+	}
+	small := attrAllocs(computeLoop(1, 256, 256, 1e-8))
+	big := attrAllocs(computeLoop(1, 1024, 1024, 1e-8))
+	base := loopAllocs(t, spreadPlan, computeLoop(1, 256, 256, 1e-8))
+	t.Logf("per-loop allocs with attr: 256 tasks = %g, 1024 tasks = %g (baseline %g)", small, big, base)
+	if big != small {
+		t.Fatalf("attribution allocates per task: 256 tasks = %g, 1024 tasks = %g", small, big)
+	}
+	if small != base {
+		t.Fatalf("attribution adds per-loop allocations: %g with attr, %g without", small, base)
+	}
+}

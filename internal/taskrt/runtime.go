@@ -72,6 +72,14 @@ type Runtime struct {
 	releaseFn  sim.Event
 	loopDoneFn sim.Event
 
+	// attrOn gates virtual-time attribution (see attr.go). attrIdleSince
+	// stamps, per core, when the thread last became idle within the current
+	// loop; attrLoops accumulates per-loop decompositions across the run.
+	attrOn        bool
+	attrIdleSince []sim.Time
+	attrLoops     map[string]obs.LoopAttr
+	lastLoopAttr  obs.LoopAttr
+
 	// Run-level aggregates.
 	overheadSec       float64
 	elapsedLoopSec    float64
@@ -129,6 +137,15 @@ type loopExec struct {
 	startCtrs   machine.Counters
 	st          LoopStats
 	done        func(*LoopStats)
+
+	// Attribution scratch (only written under Runtime.attrOn): the release
+	// and finish instants plus the loop's dispatch-cost, imbalance, and
+	// queue-wait accumulators.
+	releaseAt sim.Time
+	finishAt  sim.Time
+	aSteal    float64
+	aImb      float64
+	aQueue    float64
 }
 
 // New builds a runtime over a machine with the given scheduler.
@@ -267,6 +284,9 @@ func (rt *Runtime) buildVictims(plan *Plan) {
 func (rt *Runtime) releaseTasks() {
 	le := rt.cur
 	plan := le.plan
+	if rt.attrOn {
+		rt.attrRelease(le)
+	}
 	if cap(rt.taskBuf) < len(plan.Place) {
 		rt.taskBuf = make([]Task, len(plan.Place))
 	}
@@ -344,9 +364,16 @@ func (rt *Runtime) dispatch(th *thread) {
 		// so no virtual-time delay is modelled).
 		rt.chargeOverhead(float64(rt.costs.VictimScan * sim.Duration(scanned)))
 		th.idle = true
+		if rt.attrOn {
+			rt.attrIdleSince[th.core] = rt.eng.Now()
+		}
 		return
 	}
 	th.idle = false
+	if rt.attrOn {
+		le.aQueue += float64(rt.eng.Now() - le.releaseAt)
+		le.aSteal += float64(cost)
+	}
 
 	if stolen {
 		if remote {
@@ -393,12 +420,16 @@ func (rt *Runtime) taskDone(th *thread) {
 	}
 	if rt.trace != nil {
 		task := th.curTask
+		ta := rt.mach.LastTaskAttr()
 		rt.trace.record(TaskEvent{
 			LoopID: le.spec.ID, LoopName: le.spec.Name, Exec: le.exec,
 			Lo: task.Lo, Hi: task.Hi, Core: th.core, Node: th.node,
 			StartSec: float64(th.curStart), EndSec: float64(rt.eng.Now()),
 			Stolen: th.curStolen, Remote: th.curRemote,
 			Strict: task.Strict, FromCore: th.curFrom,
+			IdealSec: ta.IdealComputeSec, CoreSpeedSec: ta.CoreSpeedSec,
+			IdealMemSec: ta.IdealMemorySec, LocalitySec: ta.LocalitySec,
+			InterferenceSec: ta.InterferenceSec,
 		})
 		rt.sampleResources()
 	}
@@ -432,6 +463,10 @@ func (rt *Runtime) onTaskDone(th *thread, durSec float64) {
 	le.remaining--
 	if le.remaining == 0 {
 		th.idle = true
+		if rt.attrOn {
+			rt.attrIdleSince[th.core] = rt.eng.Now()
+			rt.attrFinish(le)
+		}
 		rt.finishLoop(le)
 		return
 	}
@@ -456,6 +491,9 @@ func (rt *Runtime) completeLoop() {
 	endCtrs := rt.mach.Counters()
 	le.st.ComputeSeconds = endCtrs.ComputeSeconds - le.startCtrs.ComputeSeconds
 	le.st.MemorySeconds = endCtrs.MemorySeconds - le.startCtrs.MemorySeconds
+	if rt.attrOn {
+		rt.attrCompleteLoop(le)
+	}
 	if rt.trace != nil {
 		rt.trace.endLoop(le.spec, le.exec, le.start, rt.eng.Now(), le.st.ActiveThreads)
 	}

@@ -27,6 +27,15 @@ type TaskEvent struct {
 	// the task ran on its submission core. Trace exporters use it to draw
 	// steal flows.
 	FromCore int `json:"from"`
+	// Attribution breakdown of EndSec−StartSec (DESIGN.md §14). Tracing
+	// always enables machine-side attribution, so these are populated
+	// whether or not the campaign exports an attribution report — which
+	// keeps traces byte-identical with -attr on or off.
+	IdealSec        float64 `json:"idealSec,omitempty"`
+	CoreSpeedSec    float64 `json:"coreSpeedSec,omitempty"`
+	IdealMemSec     float64 `json:"idealMemSec,omitempty"`
+	LocalitySec     float64 `json:"localitySec,omitempty"`
+	InterferenceSec float64 `json:"interferenceSec,omitempty"`
 }
 
 // LoopMark records one taskloop execution's boundaries.
@@ -62,10 +71,14 @@ type Trace struct {
 }
 
 // EnableTracing turns on task-event recording. Call before running a
-// program; the trace grows by one record per task execution.
+// program; the trace grows by one record per task execution. Tracing
+// enables the machine's attribution accounting so every task event carries
+// its time breakdown; that accounting is output-neutral, so enabling it
+// here changes no other observable.
 func (rt *Runtime) EnableTracing() *Trace {
 	if rt.trace == nil {
 		rt.trace = &Trace{execCount: make(map[int]int)}
+		rt.mach.EnableAttr()
 	}
 	return rt.trace
 }
