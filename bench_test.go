@@ -323,7 +323,7 @@ func BenchmarkEngineEvents(b *testing.B) {
 type masterQueueSched struct{ chunk int }
 
 func (s *masterQueueSched) Name() string { return "bench-masterq" }
-func (s *masterQueueSched) Plan(rt *taskrt.Runtime, spec *taskrt.LoopSpec) *taskrt.Plan {
+func (s *masterQueueSched) Plan(rt *taskrt.Runtime, spec *taskrt.LoopSpec, _ *taskrt.Occupancy) *taskrt.Plan {
 	p := &taskrt.Plan{
 		Active:         make([]int, rt.Topology().NumCores()),
 		Place:          make([]taskrt.TaskPlacement, 0, spec.Tasks),

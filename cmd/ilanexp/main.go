@@ -42,7 +42,7 @@ import (
 const exitInterrupted = 3
 
 func main() {
-	exp := flag.String("exp", "fig2", "experiment: fig2|fig3|fig4|table1|fig5|fig6|affinity|counters|related|oracle|all")
+	exp := flag.String("exp", "fig2", "experiment: fig2|fig3|fig4|table1|fig5|fig6|affinity|counters|related|oracle|multi|all")
 	reps := flag.Int("reps", 30, "repetitions per (benchmark, scheduler) pair")
 	jobs := flag.Int("jobs", 0, "parallel workers for independent runs (0 = GOMAXPROCS, 1 = sequential)")
 	class := flag.String("class", "paper", "benchmark scale: paper|test")
@@ -61,6 +61,8 @@ func main() {
 	serveLinger := flag.Duration("serve-linger", 0, "keep the -serve monitor up this long after the campaign finishes")
 	perfetto := flag.String("perfetto", "", "write rep 0's execution trace as Perfetto (Chrome trace-event) JSON to this file (implies -metrics -trace-decisions)")
 	attrOut := flag.String("attr", "", "collect virtual-time attribution and write the per-cell report JSON to this file (output-neutral: -out/-perfetto bytes are identical either way)")
+	corun := flag.String("corun", "", "comma-separated benchmarks to co-run as one workload (-exp multi; default CG,FT)")
+	spread := flag.Float64("spread", 0, "spread co-run program arrivals over this many seconds (-exp multi)")
 	noCoalesce := flag.Bool("no-coalesce", false, "disable instant-coalesced refresh in the fluid model (debug; outputs are byte-identical either way)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 	memprofile := flag.String("memprofile", "", "write a heap-allocation profile to this file at exit")
@@ -165,6 +167,25 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *exp == "multi" {
+		list := *corun
+		if list == "" {
+			list = "CG,FT"
+		}
+		co := &harness.CoRun{ArrivalSpreadSec: *spread}
+		for _, name := range strings.Split(list, ",") {
+			co.Benches = append(co.Benches, strings.TrimSpace(name))
+		}
+		if *spread < 0 {
+			fmt.Fprintf(os.Stderr, "ilanexp: -spread must be >= 0 (got %g)\n", *spread)
+			os.Exit(2)
+		}
+		cfg.Multi = co
+	} else if *corun != "" || *spread != 0 {
+		fmt.Fprintln(os.Stderr, "ilanexp: -corun/-spread require -exp multi")
+		os.Exit(2)
+	}
+
 	benches := workloads.All()
 	if *benchList != "" {
 		var subset []workloads.Benchmark
@@ -231,6 +252,18 @@ func main() {
 			fmt.Fprintln(os.Stderr, "ilanexp:", err)
 			os.Exit(1)
 		}
+		if *exp == "multi" {
+			mm := saved.ToMultiMatrix()
+			if mm == nil {
+				fmt.Fprintln(os.Stderr, "ilanexp: results file holds no multi campaign")
+				os.Exit(1)
+			}
+			if err := harness.ReportMulti(os.Stdout, mm); err != nil {
+				fmt.Fprintln(os.Stderr, "ilanexp:", err)
+				os.Exit(1)
+			}
+			return
+		}
 		mx := saved.ToMatrix()
 		if err := harness.Report(os.Stdout, *exp, mx); err != nil {
 			fmt.Fprintln(os.Stderr, "ilanexp:", err)
@@ -270,6 +303,69 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ilanexp:", err)
 		os.Exit(2)
+	}
+
+	if *exp == "multi" {
+		progress := func(k harness.Kind) {
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "queued %-8s %-12s (%d reps, %d jobs)\n",
+					cfg.Multi.Scenario(), k, cfg.Reps, harness.DefaultJobs(cfg.Jobs))
+			}
+		}
+		start := time.Now()
+		mm, err := harness.RunMulti(kinds, cfg, progress)
+		if err != nil {
+			if errors.Is(err, harness.ErrInterrupted) {
+				finishCache()
+				fmt.Fprintln(os.Stderr, "ilanexp: multi campaign interrupted")
+				os.Exit(exitInterrupted)
+			}
+			fmt.Fprintln(os.Stderr, "ilanexp:", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "campaign finished in %v\n\n", time.Since(start).Round(time.Millisecond))
+		}
+		if err := harness.ReportMulti(os.Stdout, mm); err != nil {
+			fmt.Fprintln(os.Stderr, "ilanexp:", err)
+			os.Exit(1)
+		}
+		if *out != "" {
+			file := results.FromMulti(mm, cfg, *label)
+			if err := fsatomic.WriteFile(*out, file.Write); err != nil {
+				fmt.Fprintln(os.Stderr, "ilanexp:", err)
+				os.Exit(1)
+			}
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "campaign written to %s\n", *out)
+			}
+		}
+		if *perfetto != "" {
+			if err := writePerfettoMulti(*perfetto, mm); err != nil {
+				fmt.Fprintln(os.Stderr, "ilanexp:", err)
+				os.Exit(1)
+			}
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "perfetto trace written to %s\n", *perfetto)
+			}
+		}
+		if *attrOut != "" {
+			// Co-run units do not collect attribution; the sidecar carries
+			// the solo reference cells' reports.
+			file := results.AttrFromMatrix(mm.Solo, cfg, *label)
+			if file == nil {
+				fmt.Fprintln(os.Stderr, "ilanexp: no attribution collected (internal error: -attr should imply attribution)")
+				os.Exit(1)
+			}
+			if err := fsatomic.WriteFile(*attrOut, file.Write); err != nil {
+				fmt.Fprintln(os.Stderr, "ilanexp:", err)
+				os.Exit(1)
+			}
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "attribution report written to %s\n", *attrOut)
+			}
+		}
+		return
 	}
 
 	progress := func(bench string, k harness.Kind) {
@@ -370,6 +466,32 @@ func writePerfetto(path string, mx *harness.Matrix) error {
 		decisions = o.Decisions
 	}
 	// Atomic write, same rationale as -out: never leave torn trace JSON.
+	return fsatomic.WriteFile(path, func(w io.Writer) error {
+		return chrometrace.Write(w, cell.TaskTrace(), decisions, chrometrace.Options{})
+	})
+}
+
+// writePerfettoMulti exports rep 0 of a co-run cell: the trace's per-
+// program tags group each co-runner under its own process track. Prefers
+// the ILAN cell like writePerfetto does.
+func writePerfettoMulti(path string, mm *harness.MultiMatrix) error {
+	var cell *harness.MultiCell
+	for _, k := range mm.Kinds {
+		c := mm.Cells[k]
+		if c == nil || c.TaskTrace() == nil {
+			continue
+		}
+		if cell == nil || (cell.Kind != harness.KindILAN && c.Kind == harness.KindILAN) {
+			cell = c
+		}
+	}
+	if cell == nil {
+		return fmt.Errorf("no task trace recorded (internal error: -perfetto should imply tracing)")
+	}
+	var decisions []obs.Decision
+	if o := cell.Samples[0].Obs; o != nil {
+		decisions = o.Decisions
+	}
 	return fsatomic.WriteFile(path, func(w io.Writer) error {
 		return chrometrace.Write(w, cell.TaskTrace(), decisions, chrometrace.Options{})
 	})

@@ -22,8 +22,8 @@ type recorder struct {
 }
 
 func (r *recorder) Name() string { return r.inner.Name() }
-func (r *recorder) Plan(rt *taskrt.Runtime, sp *taskrt.LoopSpec) *taskrt.Plan {
-	return r.inner.Plan(rt, sp)
+func (r *recorder) Plan(rt *taskrt.Runtime, sp *taskrt.LoopSpec, occ *taskrt.Occupancy) *taskrt.Plan {
+	return r.inner.Plan(rt, sp, occ)
 }
 func (r *recorder) Observe(rt *taskrt.Runtime, sp *taskrt.LoopSpec, st *taskrt.LoopStats) {
 	r.inner.Observe(rt, sp, st)

@@ -11,7 +11,12 @@
 //   - ILAN phase transitions and steal-policy flips become global instant
 //     ("i") events on a dedicated "scheduler" track;
 //   - per-node memory-controller bandwidth and queue-pressure load become
-//     counter ("C") tracks derived from the trace's resource samples.
+//     counter ("C") tracks derived from the trace's resource samples;
+//   - multiprogrammed traces (task events tagged with a program name by
+//     the workload runner) group each program's slices under its own
+//     process track, so co-running programs read as side-by-side
+//     processes in the UI. Untagged (single-program) traces emit the one
+//     process exactly as before — byte-identical output.
 //
 // Timestamps are virtual seconds scaled to microseconds (the unit the
 // trace-event format mandates).
@@ -98,18 +103,51 @@ func Write(w io.Writer, tr *taskrt.Trace, decisions []obs.Decision, opts Options
 	}
 	schedTid := cores // dedicated track after the last core
 
-	evs := make([]event, 0, 2*len(tr.Tasks)+len(tr.Resources)+cores+8)
+	// Program → process mapping. An untagged trace keeps everything on the
+	// single historical pid; a tagged (multiprogram) trace gives each
+	// program its own process in first-appearance order, pids 2, 3, ...,
+	// with the shared tracks (scheduler instants, counters) staying on
+	// pid 1 under the top-level process name.
+	pidOf := map[string]int{"": pid}
+	var programs []string
+	for _, t := range tr.Tasks {
+		if t.Program == "" {
+			continue
+		}
+		if _, ok := pidOf[t.Program]; !ok {
+			pidOf[t.Program] = pid + 1 + len(programs)
+			programs = append(programs, t.Program)
+		}
+	}
+
+	evs := make([]event, 0, 2*len(tr.Tasks)+len(tr.Resources)+(len(programs)+1)*cores+8)
 
 	// Metadata: process name, per-core thread names + sort order, and the
-	// scheduler instant-event track.
+	// scheduler instant-event track. Multiprogram traces repeat the core
+	// tracks under each program's process.
 	evs = append(evs, event{Name: "process_name", Ph: "M", Pid: pid,
 		Args: map[string]any{"name": opts.Process}})
-	for c := 0; c < cores; c++ {
+	for i, prog := range programs {
 		evs = append(evs,
-			event{Name: "thread_name", Ph: "M", Pid: pid, Tid: c,
-				Args: map[string]any{"name": fmt.Sprintf("core %d (node %d)", c, nodeName(c))}},
-			event{Name: "thread_sort_index", Ph: "M", Pid: pid, Tid: c,
-				Args: map[string]any{"sort_index": c}})
+			event{Name: "process_name", Ph: "M", Pid: pidOf[prog],
+				Args: map[string]any{"name": opts.Process + "/" + prog}},
+			event{Name: "process_sort_index", Ph: "M", Pid: pidOf[prog],
+				Args: map[string]any{"sort_index": i + 1}})
+	}
+	coreTracks := func(p int) {
+		for c := 0; c < cores; c++ {
+			evs = append(evs,
+				event{Name: "thread_name", Ph: "M", Pid: p, Tid: c,
+					Args: map[string]any{"name": fmt.Sprintf("core %d (node %d)", c, nodeName(c))}},
+				event{Name: "thread_sort_index", Ph: "M", Pid: p, Tid: c,
+					Args: map[string]any{"sort_index": c}})
+		}
+	}
+	if len(programs) == 0 {
+		coreTracks(pid)
+	}
+	for _, prog := range programs {
+		coreTracks(pidOf[prog])
 	}
 	evs = append(evs,
 		event{Name: "thread_name", Ph: "M", Pid: pid, Tid: schedTid,
@@ -140,19 +178,22 @@ func Write(w io.Writer, tr *taskrt.Trace, decisions []obs.Decision, opts Options
 		args["idealMemSec"] = t.IdealMemSec
 		args["localitySec"] = t.LocalitySec
 		args["interferenceSec"] = t.InterferenceSec
+		tpid := pidOf[t.Program]
 		evs = append(evs, event{
 			Name: t.LoopName, Ph: "X", Cat: "task",
 			Ts: t.StartSec * usec, Dur: (t.EndSec - t.StartSec) * usec,
-			Pid: pid, Tid: t.Core, Cname: cname,
+			Pid: tpid, Tid: t.Core, Cname: cname,
 			Args: args,
 		})
 		if t.Remote && t.FromCore >= 0 {
+			// Steals never cross programs (a runtime invariant), so both
+			// flow ends live in the same process.
 			flowID++
 			evs = append(evs,
 				event{Name: "steal", Ph: "s", Cat: "steal", ID: flowID,
-					Ts: t.StartSec * usec, Pid: pid, Tid: t.FromCore},
+					Ts: t.StartSec * usec, Pid: tpid, Tid: t.FromCore},
 				event{Name: "steal", Ph: "f", Cat: "steal", ID: flowID, BP: "e",
-					Ts: t.StartSec * usec, Pid: pid, Tid: t.Core})
+					Ts: t.StartSec * usec, Pid: tpid, Tid: t.Core})
 		}
 	}
 

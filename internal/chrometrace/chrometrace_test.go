@@ -219,3 +219,96 @@ func TestWriteTimestampsMicroseconds(t *testing.T) {
 	}
 	t.Fatal("core 0 slice not found")
 }
+
+// testMultiTrace tags the test trace's tasks with two program names: cores
+// 0-1 run "cg", cores 2-3 run "ft" (the steal pair 0->2 is rewired to stay
+// inside "ft" because steals never cross programs).
+func testMultiTrace() *taskrt.Trace {
+	tr := testTrace()
+	for i := range tr.Tasks {
+		if tr.Tasks[i].Core < 2 {
+			tr.Tasks[i].Program = "cg"
+		} else {
+			tr.Tasks[i].Program = "ft"
+		}
+	}
+	// Keep the remote steal intra-program: thief core 2 stole from core 3.
+	tr.Tasks[2].FromCore = 3
+	return tr
+}
+
+func TestWriteMultiprogramProcesses(t *testing.T) {
+	evs := render(t, testMultiTrace(), testDecisions(), Options{})
+
+	// First-appearance order: "cg" (core 0's task) then "ft" -> pids 2, 3.
+	procNames := map[int]string{}
+	sortIndex := map[int]float64{}
+	for _, e := range evs {
+		if e.Ph == "M" && e.Name == "process_name" {
+			procNames[e.Pid], _ = e.Args["name"].(string)
+		}
+		if e.Ph == "M" && e.Name == "process_sort_index" {
+			sortIndex[e.Pid], _ = e.Args["sort_index"].(float64)
+		}
+	}
+	if procNames[1] != "ilan-sim" || procNames[2] != "ilan-sim/cg" || procNames[3] != "ilan-sim/ft" {
+		t.Fatalf("process names = %v, want pid 1 ilan-sim, pid 2 .../cg, pid 3 .../ft", procNames)
+	}
+	if sortIndex[2] != 1 || sortIndex[3] != 2 {
+		t.Fatalf("process sort indices = %v, want cg=1 ft=2", sortIndex)
+	}
+
+	// Task slices land on their program's process; none on the shared pid.
+	for _, e := range evs {
+		if e.Ph != "X" {
+			continue
+		}
+		want := 2
+		if e.Tid >= 2 {
+			want = 3
+		}
+		if e.Pid != want {
+			t.Fatalf("slice on core %d has pid %d, want %d", e.Tid, e.Pid, want)
+		}
+	}
+
+	// Scheduler instants stay on the shared process.
+	for _, e := range evs {
+		if e.Ph == "i" && e.Pid != 1 {
+			t.Fatalf("scheduler instant on pid %d, want shared pid 1", e.Pid)
+		}
+	}
+
+	// The steal flow stays inside one program's process.
+	for _, e := range evs {
+		if e.Ph == "s" || e.Ph == "f" {
+			if e.Pid != 3 {
+				t.Fatalf("steal flow %q on pid %d, want ft's pid 3", e.Ph, e.Pid)
+			}
+		}
+	}
+
+	// Per-program core tracks exist under each program pid, and no core
+	// thread_name metadata sits on the shared pid (the tagged layout).
+	tracks := map[int]int{}
+	for _, e := range evs {
+		if e.Ph == "M" && e.Name == "thread_name" && e.Tid < 4 {
+			tracks[e.Pid]++
+		}
+	}
+	if tracks[1] != 0 || tracks[2] != 4 || tracks[3] != 4 {
+		t.Fatalf("core thread_name tracks per pid = %v, want 0/4/4", tracks)
+	}
+}
+
+// TestWriteUntaggedStaysSingleProcess guards the byte-identity contract:
+// a trace with no program tags must emit every event on the historical
+// single pid, exactly as before multiprogram support.
+func TestWriteUntaggedStaysSingleProcess(t *testing.T) {
+	evs := render(t, testTrace(), testDecisions(), Options{})
+	for _, e := range evs {
+		if e.Pid != 1 {
+			t.Fatalf("untagged trace emitted event %q with pid %d, want 1", e.Name, e.Pid)
+		}
+	}
+}

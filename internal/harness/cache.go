@@ -29,7 +29,14 @@ import (
 //   - machine-model overrides (bandwidths, alpha, beta),
 //   - observability settings that change the stored payload (Metrics,
 //     TraceDecisions, DecisionCap, TraceTasks for rep 0, and Attr — the
-//     attribution report rides inside the cached RunSample).
+//     attribution report rides inside the cached RunSample),
+//   - for multiprogrammed units (cacheKeyForMulti), the co-run descriptor
+//     (benchmark list + arrival spread): it determines the whole workload.
+//     Solo units normalize Multi out — a solo simulation never reads it —
+//     so RunMulti's solo reference cells share entries with plain solo
+//     campaigns. Multi units conversely normalize Attr out (attribution is
+//     not collected for co-run units) and carry no Bench (the descriptor
+//     names the scenario).
 //
 // Normalized out (proven output-neutral, so runs share entries across
 // them): Reps (the rep index, not the campaign width, feeds the seed),
@@ -68,6 +75,9 @@ type cacheKeyInputs struct {
 	DecisionCap  int                 `json:"decisionCap"`
 	TraceTasks   bool                `json:"traceTasks"`
 	Attr         bool                `json:"attr"`
+	// Multi is nil for solo units; for co-run units it is the workload
+	// descriptor and Bench is empty.
+	Multi *CoRun `json:"multi,omitempty"`
 }
 
 // cacheKeyFor computes the unit's content address. The zero-value
@@ -112,6 +122,76 @@ func cacheKeyFor(b workloads.Benchmark, k Kind, cfg Config, rep int) string {
 	}
 	sum := sha256.Sum256(data)
 	return hex.EncodeToString(sum[:])
+}
+
+// cacheKeyForMulti computes a co-run unit's content address: the same
+// inputs as a solo unit minus the benchmark name (the co-run descriptor
+// carries the benchmark list) and with Attr normalized out (co-run units
+// never collect attribution — see multiUnitConfig).
+func cacheKeyForMulti(k Kind, cfg Config, rep int) string {
+	if cfg.Multi == nil {
+		return ""
+	}
+	topoSpec := cfg.Topo
+	if topoSpec.Sockets == 0 {
+		topoSpec = topology.Zen4Vera()
+	}
+	in := cacheKeyInputs{
+		Fingerprint:  simFingerprint,
+		EntryVersion: cellcache.Version,
+		Class:        cfg.Class.String(),
+		Kind:         k.String(),
+		Rep:          rep,
+		Seed:         cfg.Seed,
+		Noise:        cfg.Noise,
+		Topo:         topoSpec,
+		Disturb:      cfg.Disturb,
+		ControllerBW: cfg.ControllerBW,
+		LinkBW:       cfg.LinkBW,
+		CoreStreamBW: cfg.CoreStreamBW,
+		Alpha:        cfg.Alpha,
+		Beta:         cfg.Beta,
+		Metrics:      cfg.Metrics,
+		TraceDecs:    cfg.TraceDecisions,
+		DecisionCap:  cfg.DecisionCap,
+		TraceTasks:   cfg.TraceTasks && rep == 0,
+		Multi:        cfg.Multi,
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		return "" // NaN/Inf spread: no stable key; the unit runs uncached
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// cacheGetMulti returns the cached co-run sample for a unit, if sound.
+func cacheGetMulti(c *cellcache.Cache, key string) (MultiSample, bool) {
+	if c == nil || key == "" {
+		return MultiSample{}, false
+	}
+	data, ok := c.Get(key)
+	if !ok {
+		return MultiSample{}, false
+	}
+	var s MultiSample
+	if err := json.Unmarshal(data, &s); err != nil {
+		c.Discard(key)
+		return MultiSample{}, false
+	}
+	return s, true
+}
+
+// cachePutMulti commits a freshly computed co-run unit result.
+func cachePutMulti(c *cellcache.Cache, key string, s MultiSample) {
+	if c == nil || key == "" {
+		return
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		return
+	}
+	_ = c.Put(key, data)
 }
 
 // encodeSample serializes a unit result for the cache. RunSample (with its

@@ -71,6 +71,7 @@ func TestCacheKeyPerturbation(t *testing.T) {
 		"tracker":             func(u *keyUnit) { u.cfg.Track = NewTracker() },
 		"canceler":            func(u *keyUnit) { u.cfg.Cancel = NewCanceler() },
 		"trace-tasks (rep 1)": func(u *keyUnit) { u.rep = 1; u.cfg.TraceTasks = true },
+		"multi (solo unit)":   func(u *keyUnit) { u.cfg.Multi = &CoRun{Benches: []string{"CG", "FT"}} },
 	}
 
 	base := baseUnit(t).key()
@@ -109,6 +110,51 @@ func TestCacheKeyPerturbation(t *testing.T) {
 	}
 }
 
+// TestCacheKeyMultiPerturbation: every co-run descriptor input must change
+// the multi key, and the multi key space must never collide with solo keys.
+func TestCacheKeyMultiPerturbation(t *testing.T) {
+	base := testConfig()
+	base.Multi = &CoRun{Benches: []string{"CG", "FT"}}
+	baseKey := cacheKeyForMulti(KindBaseline, base, 0)
+	if baseKey == "" {
+		t.Fatal("multi key empty for a valid co-run config")
+	}
+	if baseKey == cacheKeyFor(mustBench(t, "CG"), KindBaseline, base, 0) {
+		t.Fatal("multi key collides with a solo key")
+	}
+	perturb := map[string]func(*Config) (Kind, int){
+		"benches": func(c *Config) (Kind, int) {
+			c.Multi = &CoRun{Benches: []string{"CG", "Matmul"}}
+			return KindBaseline, 0
+		},
+		"bench-order": func(c *Config) (Kind, int) {
+			c.Multi = &CoRun{Benches: []string{"FT", "CG"}}
+			return KindBaseline, 0
+		},
+		"spread": func(c *Config) (Kind, int) {
+			c.Multi = &CoRun{Benches: []string{"CG", "FT"}, ArrivalSpreadSec: 0.5}
+			return KindBaseline, 0
+		},
+		"kind": func(c *Config) (Kind, int) { return KindILAN, 0 },
+		"rep":  func(c *Config) (Kind, int) { return KindBaseline, 1 },
+		"seed": func(c *Config) (Kind, int) { c.Seed++; return KindBaseline, 0 },
+	}
+	for name, mut := range perturb {
+		cfg := testConfig()
+		cfg.Multi = &CoRun{Benches: []string{"CG", "FT"}}
+		k, rep := mut(&cfg)
+		if cacheKeyForMulti(k, cfg, rep) == baseKey {
+			t.Errorf("perturbing %s did not change the multi cache key", name)
+		}
+	}
+	// Attr is normalized out of multi keys (co-run units never collect it).
+	attrCfg := base
+	attrCfg.Attr = true
+	if cacheKeyForMulti(KindBaseline, attrCfg, 0) != baseKey {
+		t.Error("attr changed the multi cache key despite being normalized out")
+	}
+}
+
 func TestCacheKeyFingerprintSkewInvalidates(t *testing.T) {
 	u := baseUnit(t)
 	base := u.key()
@@ -144,6 +190,9 @@ func TestCacheKeyClassifiesEveryConfigField(t *testing.T) {
 		"CoreStreamBW": true, "Alpha": true, "Beta": true, "Metrics": true,
 		"TraceDecisions": true, "DecisionCap": true, "TraceTasks": true,
 		"Attr": true,
+		// Multi is key-bearing for co-run units (cacheKeyForMulti) and
+		// normalized out of solo keys (a solo simulation never reads it).
+		"Multi": true,
 	}
 	normalizedOut := map[string]bool{
 		"Reps": true, "Jobs": true, "NoCoalesce": true, "Track": true,

@@ -157,6 +157,12 @@ type Config struct {
 	// to the cache), and the campaign returns ErrInterrupted. Rerunning
 	// the same configuration with the same cache resumes by cache hit.
 	Cancel *Canceler
+	// Multi, when non-nil, selects the multiprogrammed campaign: the named
+	// benchmarks co-run as one workload per repetition (see multi.go and
+	// RunMulti). Solo campaigns (Run/RunOne) ignore it; RunMulti's solo
+	// reference cells normalize it out so they share cache entries with
+	// plain solo campaigns.
+	Multi *CoRun
 }
 
 // obsEnabled reports whether runs should carry an obs collector.
@@ -289,8 +295,12 @@ func RunOne(b workloads.Benchmark, k Kind, cfg Config, rep int) (RunSample, erro
 	return s, err
 }
 
-// runOneUncached is the raw simulation path behind RunOne.
-func runOneUncached(b workloads.Benchmark, k Kind, cfg Config, rep int) (RunSample, error) {
+// buildMachine constructs the fresh simulated machine one repetition runs
+// on: topology defaulting, per-rep seed derivation, model overrides, and
+// disturbance injection — shared by the solo (RunOne) and multiprogram
+// (RunMulti) unit paths so a given (cfg, rep) always means the same
+// machine.
+func buildMachine(cfg Config, rep int) *machine.Machine {
 	topoSpec := cfg.Topo
 	if topoSpec.Sockets == 0 {
 		topoSpec = topology.Zen4Vera()
@@ -325,6 +335,12 @@ func runOneUncached(b workloads.Benchmark, k Kind, cfg Config, rep int) (RunSamp
 		}
 		m.DisturbNode(d.Node, slow, load)
 	}
+	return m
+}
+
+// runOneUncached is the raw simulation path behind RunOne.
+func runOneUncached(b workloads.Benchmark, k Kind, cfg Config, rep int) (RunSample, error) {
+	m := buildMachine(cfg, rep)
 	prog := b.Build(m, cfg.Class)
 	rt := taskrt.New(m, NewScheduler(k), taskrt.DefaultCosts())
 	var run *obs.Run

@@ -1,0 +1,164 @@
+package harness
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/ilan-sched/ilan/internal/cellcache"
+)
+
+// multiConfig is a small co-run campaign setup: CG and FT co-running.
+func multiConfig() Config {
+	cfg := testConfig()
+	cfg.Multi = &CoRun{Benches: []string{"CG", "FT"}}
+	return cfg
+}
+
+func TestRunMultiProducesSlowdowns(t *testing.T) {
+	kinds := []Kind{KindBaseline, KindILAN}
+	mm, err := RunMulti(kinds, multiConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm.Solo == nil || mm.Solo.Cell("CG", KindBaseline) == nil {
+		t.Fatal("solo reference matrix missing")
+	}
+	for _, k := range kinds {
+		c := mm.Cells[k]
+		if c == nil || len(c.Samples) != 2 {
+			t.Fatalf("%s: cell missing or wrong rep count: %+v", k, c)
+		}
+		for rep, s := range c.Samples {
+			if s.ElapsedSec <= 0 {
+				t.Fatalf("%s rep %d: elapsed %v", k, rep, s.ElapsedSec)
+			}
+			if len(s.Programs) != 2 {
+				t.Fatalf("%s rep %d: %d programs, want 2", k, rep, len(s.Programs))
+			}
+			if s.Programs[0].Bench != "CG" || s.Programs[1].Bench != "FT" {
+				t.Fatalf("%s rep %d: program order %q,%q", k, rep,
+					s.Programs[0].Bench, s.Programs[1].Bench)
+			}
+			for _, p := range s.Programs {
+				if p.MakespanSec <= 0 || p.Tasks == 0 {
+					t.Fatalf("%s rep %d: degenerate program sample %+v", k, rep, p)
+				}
+			}
+		}
+		for pi := 0; pi < 2; pi++ {
+			// Co-running can only slow a program down relative to solo
+			// (queueing and interference; the scheduler cannot beat an
+			// empty machine).
+			if sd := mm.Slowdown(k, pi); sd < 0.999 {
+				t.Fatalf("%s program %d: slowdown %v < 1", k, pi, sd)
+			}
+		}
+	}
+}
+
+func TestRunMultiSelfCoRunNames(t *testing.T) {
+	cfg := multiConfig()
+	cfg.Multi = &CoRun{Benches: []string{"CG", "CG"}}
+	cfg.Reps = 1
+	mm, err := RunMulti([]Kind{KindBaseline}, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := mm.Cells[KindBaseline].Samples[0].Programs
+	if ps[0].Program != "CG" || ps[1].Program != "CG#2" {
+		t.Fatalf("self co-run names = %q, %q; want CG, CG#2", ps[0].Program, ps[1].Program)
+	}
+}
+
+// TestRunMultiDeterministicAcrossJobs extends the campaign determinism
+// contract to the multi kind: worker count must not change any output.
+func TestRunMultiDeterministicAcrossJobs(t *testing.T) {
+	kinds := []Kind{KindBaseline, KindILAN}
+	cfg := multiConfig()
+	cfg.Multi.ArrivalSpreadSec = 0.01
+	cfg.Metrics = true
+	cfg.TraceDecisions = true
+
+	cfg.Jobs = 1
+	a, err := RunMulti(kinds, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Jobs = 8
+	b, err := RunMulti(kinds, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range kinds {
+		if !reflect.DeepEqual(a.Cells[k].Samples, b.Cells[k].Samples) {
+			t.Fatalf("%s: co-run samples differ between jobs=1 and jobs=8", k)
+		}
+	}
+}
+
+// TestRunMultiOneCacheRoundTrip checks a cached co-run unit replays the
+// uncached result exactly, and that the cache actually gets hit.
+func TestRunMultiOneCacheRoundTrip(t *testing.T) {
+	cfg := multiConfig()
+	cfg.Metrics = true
+	benches, err := cfg.Multi.resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := RunMultiOne(benches, KindILAN, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cc, err := cellcache.Open(filepath.Join(t.TempDir(), "cache"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Cache = cc
+	warm1, err := RunMultiOne(benches, KindILAN, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm2, err := RunMultiOne(benches, KindILAN, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cc.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("cache stats = %+v, want 1 hit, 1 miss", st)
+	}
+	for name, s := range map[string]MultiSample{"cold": warm1, "cached": warm2} {
+		if !reflect.DeepEqual(s, cold) {
+			t.Fatalf("%s sample differs from uncached run:\n%+v\nvs\n%+v", name, s, cold)
+		}
+	}
+}
+
+func TestRunMultiUnknownBench(t *testing.T) {
+	cfg := multiConfig()
+	cfg.Multi.Benches = []string{"CG", "nope"}
+	if _, err := RunMulti([]Kind{KindBaseline}, cfg, nil); err == nil {
+		t.Fatal("unknown co-run benchmark accepted")
+	}
+}
+
+func TestReportMultiTable(t *testing.T) {
+	cfg := multiConfig()
+	cfg.Reps = 1
+	mm, err := RunMulti([]Kind{KindBaseline, KindILAN}, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ReportMulti(&buf, mm); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Co-run campaign: CG+FT", "slowdown", "baseline", "ilan", "overall"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

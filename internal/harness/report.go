@@ -25,6 +25,10 @@ func KindsFor(exp string) ([]Kind, error) {
 		return []Kind{KindBaseline, KindILAN, KindILANCounters}, nil
 	case "related":
 		return []Kind{KindBaseline, KindShepherd, KindILAN}, nil
+	case "multi":
+		// The co-run campaign (RunMulti/ReportMulti): baseline vs ILAN
+		// under multiprogrammed interference.
+		return []Kind{KindBaseline, KindILAN}, nil
 	case "all":
 		return []Kind{KindBaseline, KindILAN, KindILANNoMold, KindWorkSharing,
 			KindAffinity, KindILANCounters, KindShepherd}, nil

@@ -54,11 +54,11 @@ func TestBuildPlanDegenerateSizesStrictCounts(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			s := MustNew(DefaultOptions())
 			ls := mkState(topo, 1, nil)
-			cfg := s.widen(ls, topo, 16)
+			cfg := s.widen(ls, topo, 16, nil)
 			cfg.StealFull = true
 			spec := tinySpec(tc.tasks)
 			plan := s.buildPlan(spec, topo, cfg, tc.fraction)
-			if err := plan.Validate(spec, topo.NumCores()); err != nil {
+			if err := plan.Validate(spec, topo.NumCores(), nil); err != nil {
 				t.Fatal(err)
 			}
 

@@ -113,7 +113,7 @@ func TestWidenPicksFastestNodeFirst(t *testing.T) {
 		ls.nodeTasks[n] = 1
 	}
 	ls.nodeSec[2] = 0.1
-	cfg := s.widen(ls, topo, 8)
+	cfg := s.widen(ls, topo, 8, nil)
 	if cfg.Nodes[0] != 2 {
 		t.Fatalf("first node = %d, want fastest node 2", cfg.Nodes[0])
 	}
@@ -135,7 +135,7 @@ func TestWidenPartialNode(t *testing.T) {
 	topo := smallTopo()
 	s := MustNew(Options{Granularity: 2, StrictFraction: 0.75, Moldability: true})
 	ls := mkState(topo, 1, nil)
-	cfg := s.widen(ls, topo, 6) // 1.5 nodes
+	cfg := s.widen(ls, topo, 6, nil) // 1.5 nodes
 	if len(cfg.Cores) != 6 {
 		t.Fatalf("got %d cores, want 6", len(cfg.Cores))
 	}
@@ -148,7 +148,7 @@ func TestWidenClampsToMachine(t *testing.T) {
 	topo := smallTopo()
 	s := MustNew(DefaultOptions())
 	ls := mkState(topo, 1, nil)
-	cfg := s.widen(ls, topo, 999)
+	cfg := s.widen(ls, topo, 999, nil)
 	if cfg.Threads != 16 || len(cfg.Cores) != 16 {
 		t.Fatalf("widen(999) = %d threads / %d cores, want 16/16", cfg.Threads, len(cfg.Cores))
 	}
@@ -172,12 +172,12 @@ func TestBuildPlanStrictPolicyAllStrict(t *testing.T) {
 	topo := smallTopo()
 	s := MustNew(DefaultOptions())
 	ls := mkState(topo, 1, nil)
-	cfg := s.widen(ls, topo, 8)
+	cfg := s.widen(ls, topo, 8, nil)
 	cfg.StealFull = false
 	spec := &taskrt.LoopSpec{ID: 1, Name: "x", Iters: 64, Tasks: 16,
 		Demand: func(lo, hi int) (float64, []memsys.Access) { return 0, nil }}
 	plan := s.buildPlan(spec, topo, cfg, s.opts.StrictFraction)
-	if err := plan.Validate(spec, topo.NumCores()); err != nil {
+	if err := plan.Validate(spec, topo.NumCores(), nil); err != nil {
 		t.Fatal(err)
 	}
 	for i, tp := range plan.Place {
@@ -194,12 +194,12 @@ func TestBuildPlanFullPolicySplitsStrictAndGreen(t *testing.T) {
 	topo := smallTopo()
 	s := MustNew(DefaultOptions()) // strict fraction 0.75
 	ls := mkState(topo, 1, nil)
-	cfg := s.widen(ls, topo, 16)
+	cfg := s.widen(ls, topo, 16, nil)
 	cfg.StealFull = true
 	spec := &taskrt.LoopSpec{ID: 1, Name: "x", Iters: 64, Tasks: 16,
 		Demand: func(lo, hi int) (float64, []memsys.Access) { return 0, nil }}
 	plan := s.buildPlan(spec, topo, cfg, s.opts.StrictFraction)
-	if err := plan.Validate(spec, topo.NumCores()); err != nil {
+	if err := plan.Validate(spec, topo.NumCores(), nil); err != nil {
 		t.Fatal(err)
 	}
 	strict, green := 0, 0
@@ -229,12 +229,12 @@ func TestBuildPlanTinyLoopKeepsStrictTasks(t *testing.T) {
 	s := MustNew(DefaultOptions())
 	for _, tasks := range []int{4, 6, 7} { // all < 2*nodes
 		ls := mkState(topo, 1, nil)
-		cfg := s.widen(ls, topo, 16)
+		cfg := s.widen(ls, topo, 16, nil)
 		cfg.StealFull = true
 		spec := &taskrt.LoopSpec{ID: 1, Name: "tiny", Iters: 64, Tasks: tasks,
 			Demand: func(lo, hi int) (float64, []memsys.Access) { return 0, nil }}
 		plan := s.buildPlan(spec, topo, cfg, s.opts.StrictFraction)
-		if err := plan.Validate(spec, topo.NumCores()); err != nil {
+		if err := plan.Validate(spec, topo.NumCores(), nil); err != nil {
 			t.Fatal(err)
 		}
 		strictPerCore := map[int]int{}
@@ -256,7 +256,7 @@ func TestBuildPlanContiguousNodeMapping(t *testing.T) {
 	topo := smallTopo()
 	s := MustNew(DefaultOptions())
 	ls := mkState(topo, 1, nil)
-	cfg := s.widen(ls, topo, 16)
+	cfg := s.widen(ls, topo, 16, nil)
 	spec := &taskrt.LoopSpec{ID: 1, Name: "x", Iters: 160, Tasks: 16,
 		Demand: func(lo, hi int) (float64, []memsys.Access) { return 0, nil }}
 	plan := s.buildPlan(spec, topo, cfg, s.opts.StrictFraction)

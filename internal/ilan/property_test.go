@@ -70,14 +70,14 @@ func TestPropertyPlansAlwaysValid(t *testing.T) {
 		threads := 8 * (1 + int(threadsRaw%8))
 		s := MustNew(DefaultOptions())
 		ls := mkState(topo, 1, nil)
-		cfg := s.widen(ls, topo, threads)
+		cfg := s.widen(ls, topo, threads, nil)
 		cfg.StealFull = full
 		spec := &taskrt.LoopSpec{
 			ID: 1, Name: "p", Iters: iters, Tasks: tasks,
 			Demand: func(lo, hi int) (float64, []memsys.Access) { return 0, nil },
 		}
 		plan := s.buildPlan(spec, topo, cfg, s.opts.StrictFraction)
-		return plan.Validate(spec, topo.NumCores()) == nil
+		return plan.Validate(spec, topo.NumCores(), nil) == nil
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
@@ -101,7 +101,7 @@ func TestPropertyWidenInvariants(t *testing.T) {
 			}
 			ls.nodeSec[fast] = 1
 		}
-		cfg := s.widen(ls, topo, threads)
+		cfg := s.widen(ls, topo, threads, nil)
 		if len(cfg.Cores) != threads {
 			return false
 		}

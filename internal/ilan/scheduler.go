@@ -194,7 +194,11 @@ func (s *Scheduler) state(id int, topo *topology.Machine) *loopState {
 
 // Plan implements taskrt.Scheduler: it selects the configuration for this
 // execution of the taskloop and builds the hierarchical distribution plan.
-func (s *Scheduler) Plan(rt *taskrt.Runtime, spec *taskrt.LoopSpec) *taskrt.Plan {
+// The occupancy view makes the moldability machinery interference-aware in
+// a second sense: node-mask selection and core assignment mold *around*
+// co-running loops, never claiming a held core. On an empty occupancy the
+// selection is exactly the single-program algorithm.
+func (s *Scheduler) Plan(rt *taskrt.Runtime, spec *taskrt.LoopSpec, occ *taskrt.Occupancy) *taskrt.Plan {
 	topo := rt.Topology()
 	ls := s.state(spec.ID, topo)
 	ls.k++
@@ -203,13 +207,13 @@ func (s *Scheduler) Plan(rt *taskrt.Runtime, spec *taskrt.LoopSpec) *taskrt.Plan
 	switch {
 	case s.opts.FixedThreads > 0:
 		ls.phase = PhaseSettled
-		cfg = s.widen(ls, topo, s.opts.FixedThreads)
+		cfg = s.widen(ls, topo, s.opts.FixedThreads, occ)
 		cfg.StealFull = s.opts.FixedStealFull
 		ls.chosen = cfg
 	case s.opts.Moldability:
-		cfg = s.selectMoldable(ls, topo)
+		cfg = s.selectMoldable(ls, topo, occ)
 	default:
-		cfg = s.selectFixed(ls, topo)
+		cfg = s.selectFixed(ls, topo, occ)
 	}
 	ls.pending = cfg
 	plan := s.buildPlan(spec, topo, cfg, s.strictFraction(ls))
@@ -240,8 +244,8 @@ func (s *Scheduler) strictFraction(ls *loopState) float64 {
 
 // selectFixed is the no-moldability path: always all cores; the steal
 // policy is still evaluated (strict at k=1, full at k=2, winner after).
-func (s *Scheduler) selectFixed(ls *loopState, topo *topology.Machine) Config {
-	cfg := s.widen(ls, topo, topo.NumCores())
+func (s *Scheduler) selectFixed(ls *loopState, topo *topology.Machine, occ *taskrt.Occupancy) Config {
+	cfg := s.widen(ls, topo, topo.NumCores(), occ)
 	switch ls.k {
 	case 1:
 		ls.phase = PhaseExplore
@@ -257,30 +261,38 @@ func (s *Scheduler) selectFixed(ls *loopState, topo *topology.Machine) Config {
 }
 
 // selectMoldable runs the full ILAN selection state machine.
-func (s *Scheduler) selectMoldable(ls *loopState, topo *topology.Machine) Config {
+func (s *Scheduler) selectMoldable(ls *loopState, topo *topology.Machine, occ *taskrt.Occupancy) Config {
 	switch ls.phase {
 	case PhaseSettled:
 		// Re-derive the mask so late changes in node history count, as the
 		// paper performs node_mask selection on every configuration
 		// selection; the thread count and policy stay fixed.
-		cfg := s.widen(ls, topo, ls.chosen.Threads)
+		cfg := s.widen(ls, topo, ls.chosen.Threads, occ)
 		cfg.StealFull = ls.chosen.StealFull
 		ls.chosen = cfg
 		return cfg
 	case PhaseEvalSteal:
-		cfg := s.widen(ls, topo, ls.chosen.Threads)
+		cfg := s.widen(ls, topo, ls.chosen.Threads, occ)
 		cfg.StealFull = true
 		return cfg
 	default:
 		threads, finished := s.nextThreads(ls, topo)
-		cfg := s.widen(ls, topo, threads)
+		cfg := s.widen(ls, topo, threads, occ)
 		cfg.StealFull = false
 		if finished {
 			// The search concluded; this very execution doubles as the
 			// steal_policy = full trial, as in the paper.
 			ls.phase = PhaseEvalSteal
 			ls.chosen = cfg
-			ls.bestStrictSec = ls.tried[threads].mean()
+			if c, ok := ls.tried[cfg.Threads]; ok {
+				ls.bestStrictSec = c.mean()
+			} else {
+				// The width the search settled on was never measured at
+				// this exact count (occupancy clamped an earlier probe);
+				// treat the strict reference as unknown so the full-policy
+				// trial decides on its own measurement.
+				ls.bestStrictSec = math.Inf(1)
+			}
 			cfg.StealFull = true
 		}
 		return cfg
@@ -351,31 +363,62 @@ func (s *Scheduler) nextThreads(ls *loopState, topo *topology.Machine) (int, boo
 
 // widen builds the configuration for a thread count: node_mask selection
 // (fastest node first, then topology-nearest) and the explicit core list.
-func (s *Scheduler) widen(ls *loopState, topo *topology.Machine, threads int) Config {
+// Only cores free under the occupancy view participate: per-node capacity
+// is the node's free-core count, the thread count clamps to the machine's
+// total free capacity, and fully-held nodes drop out of the mask. With an
+// empty occupancy every capacity equals the node size and the selection is
+// byte-for-byte the original single-program algorithm.
+func (s *Scheduler) widen(ls *loopState, topo *topology.Machine, threads int, occ *taskrt.Occupancy) Config {
 	if threads < 1 {
 		panic(fmt.Sprintf("ilan: widen with %d threads", threads))
 	}
-	if threads > topo.NumCores() {
-		threads = topo.NumCores()
+	nNodes := topo.NumNodes()
+	capacity := make([]int, nNodes)
+	totalFree := 0
+	for n := 0; n < nNodes; n++ {
+		for _, c := range topo.CoresOfNode(n) {
+			if !occ.Held(c) {
+				capacity[n]++
+			}
+		}
+		totalFree += capacity[n]
 	}
-	fastest := 0
-	bestSec := ls.meanNodeSec(0)
-	for n := 1; n < topo.NumNodes(); n++ {
-		if sec := ls.meanNodeSec(n); sec < bestSec {
+	if totalFree == 0 {
+		panic("ilan: widen with every core held by co-running loops")
+	}
+	if threads > totalFree {
+		threads = totalFree
+	}
+	fastest := -1
+	var bestSec float64
+	freeNodes := 0
+	for n := 0; n < nNodes; n++ {
+		if capacity[n] == 0 {
+			continue
+		}
+		freeNodes++
+		if sec := ls.meanNodeSec(n); fastest < 0 || sec < bestSec {
 			bestSec = sec
 			fastest = n
 		}
 	}
-	nodesNeeded := (threads + topo.NodeSize() - 1) / topo.NodeSize()
+	// Walk topology-nearest from the fastest node, accumulating free
+	// capacity until the thread count fits; that walk is the node mask.
 	order := topo.NearestNodes(fastest)
-	if nodesNeeded == topo.NumNodes() {
-		// Full-width configurations keep the natural node order: the mask
-		// selects nothing, and reordering would only rotate the contiguous
-		// task-to-node mapping away from the data layout the loop's
-		// first-touch initialization established.
-		order = make([]int, topo.NumNodes())
-		for i := range order {
-			order[i] = i
+	nodesNeeded := 0
+	for acc := 0; acc < threads; nodesNeeded++ {
+		acc += capacity[order[nodesNeeded]]
+	}
+	if nodesNeeded == freeNodes {
+		// Configurations spanning every available node keep the natural
+		// node order: the mask selects nothing, and reordering would only
+		// rotate the contiguous task-to-node mapping away from the data
+		// layout the loop's first-touch initialization established.
+		order = order[:0]
+		for n := 0; n < nNodes; n++ {
+			if capacity[n] > 0 {
+				order = append(order, n)
+			}
 		}
 	}
 	cfg := Config{
@@ -384,15 +427,24 @@ func (s *Scheduler) widen(ls *loopState, topo *topology.Machine, threads int) Co
 		Cores:   make([]int, 0, threads),
 	}
 	remaining := threads
-	for _, n := range order[:nodesNeeded] {
-		cfg.Nodes = append(cfg.Nodes, n)
-		cores := topo.CoresOfNode(n)
-		take := len(cores)
-		if take > remaining {
-			take = remaining
+	for _, n := range order {
+		if remaining == 0 {
+			break
 		}
-		cfg.Cores = append(cfg.Cores, cores[:take]...)
-		remaining -= take
+		if capacity[n] == 0 {
+			continue
+		}
+		cfg.Nodes = append(cfg.Nodes, n)
+		for _, c := range topo.CoresOfNode(n) {
+			if remaining == 0 {
+				break
+			}
+			if occ.Held(c) {
+				continue
+			}
+			cfg.Cores = append(cfg.Cores, c)
+			remaining--
+		}
 	}
 	return cfg
 }
@@ -482,6 +534,7 @@ func (s *Scheduler) obsObserve(rt *taskrt.Runtime, spec *taskrt.LoopSpec, ls *lo
 		TimeSec:   rt.Machine().Engine().Now().Seconds(),
 		LoopID:    spec.ID,
 		K:         ls.k,
+		Program:   spec.Program,
 		Phase:     plannedPhase.String(),
 		Threads:   ls.pending.Threads,
 		NodeMask:  ls.pending.Mask(),

@@ -14,6 +14,9 @@ type Decision struct {
 	// 1-based execution ordinal.
 	LoopID int `json:"loop"`
 	K      int `json:"k"`
+	// Program tags the owning program in a multiprogrammed run; empty for
+	// solo programs, keeping single-program decision traces byte-identical.
+	Program string `json:"program,omitempty"`
 	// Phase is the search phase the execution was planned in
 	// ("explore", "eval-steal", "settled").
 	Phase string `json:"phase"`

@@ -28,6 +28,37 @@ type File struct {
 	Seed    uint64 `json:"seed"`
 	Class   string `json:"class"`
 	Cells   []Cell `json:"cells"`
+	// CoRun and MultiCells persist a multiprogrammed campaign (ilanexp
+	// -exp multi): the co-run descriptor plus one cell per scheduler kind.
+	// The solo reference cells ride in Cells as ordinary solo cells, so
+	// slowdown-vs-solo is reconstructible from the file alone. Absent
+	// (omitted) for solo campaigns — their files stay byte-identical.
+	CoRun      *harness.CoRun `json:"corun,omitempty"`
+	MultiCells []MultiCell    `json:"multiCells,omitempty"`
+}
+
+// MultiCell is one scheduler kind's aggregate over the co-run scenario,
+// with per-repetition arrays transposed per program.
+type MultiCell struct {
+	Kind string `json:"kind"`
+	// Elapsed is the workload's overall elapsed seconds per repetition.
+	Elapsed  []float64      `json:"elapsed"`
+	Programs []MultiProgram `json:"programs"`
+	// Obs is the cell's merged observability snapshot (metrics campaigns
+	// only); decision traces are tagged per program.
+	Obs *obs.Snapshot `json:"obs,omitempty"`
+	// Trace is repetition 0's task-event trace (tracing campaigns only),
+	// with task events tagged per program.
+	Trace *taskrt.Trace `json:"trace,omitempty"`
+}
+
+// MultiProgram is one co-running program's per-repetition outcomes.
+type MultiProgram struct {
+	Program     string    `json:"program"`
+	Bench       string    `json:"bench"`
+	ArrivalSec  []float64 `json:"arrivalSec"`
+	StartSec    []float64 `json:"startSec"`
+	MakespanSec []float64 `json:"makespanSec"`
 }
 
 // Cell is one (benchmark, scheduler) aggregate.
@@ -77,6 +108,78 @@ func FromMatrix(mx *harness.Matrix, cfg harness.Config, label string) *File {
 		f.Cells = append(f.Cells, cell)
 	})
 	return f
+}
+
+// FromMulti converts a completed multiprogrammed campaign into a
+// persistable file: the solo reference matrix becomes ordinary cells, and
+// each co-run kind becomes a MultiCell with per-program repetition arrays.
+func FromMulti(mm *harness.MultiMatrix, cfg harness.Config, label string) *File {
+	f := FromMatrix(mm.Solo, cfg, label)
+	co := mm.CoRun
+	f.CoRun = &co
+	for _, k := range mm.Kinds {
+		c := mm.Cells[k]
+		if c == nil {
+			continue
+		}
+		mc := MultiCell{Kind: k.String(), Elapsed: c.Elapsed(),
+			Obs: c.MergedObs(), Trace: c.TaskTrace()}
+		if len(c.Samples) > 0 {
+			for pi, p := range c.Samples[0].Programs {
+				mp := MultiProgram{Program: p.Program, Bench: p.Bench}
+				for _, s := range c.Samples {
+					mp.ArrivalSec = append(mp.ArrivalSec, s.Programs[pi].ArrivalSec)
+					mp.StartSec = append(mp.StartSec, s.Programs[pi].StartSec)
+					mp.MakespanSec = append(mp.MakespanSec, s.Programs[pi].MakespanSec)
+				}
+				mc.Programs = append(mc.Programs, mp)
+			}
+		}
+		f.MultiCells = append(f.MultiCells, mc)
+	}
+	return f
+}
+
+// ToMultiMatrix reconstructs the multiprogrammed campaign from a persisted
+// file so the co-run report can be re-rendered without re-running. Returns
+// nil when the file holds no multi campaign. Kinds unknown to this build
+// are skipped, like ToMatrix does.
+func (f *File) ToMultiMatrix() *harness.MultiMatrix {
+	if f.CoRun == nil || len(f.MultiCells) == 0 {
+		return nil
+	}
+	mm := &harness.MultiMatrix{
+		CoRun: *f.CoRun,
+		Cells: make(map[harness.Kind]*harness.MultiCell),
+		Solo:  f.ToMatrix(),
+	}
+	for _, mc := range f.MultiCells {
+		kind, ok := harness.KindFromString(mc.Kind)
+		if !ok {
+			continue
+		}
+		mm.Kinds = append(mm.Kinds, kind)
+		hc := &harness.MultiCell{Kind: kind}
+		for r := range mc.Elapsed {
+			s := harness.MultiSample{ElapsedSec: mc.Elapsed[r]}
+			for _, mp := range mc.Programs {
+				ps := harness.ProgramSample{Program: mp.Program, Bench: mp.Bench}
+				if r < len(mp.ArrivalSec) {
+					ps.ArrivalSec = mp.ArrivalSec[r]
+				}
+				if r < len(mp.StartSec) {
+					ps.StartSec = mp.StartSec[r]
+				}
+				if r < len(mp.MakespanSec) {
+					ps.MakespanSec = mp.MakespanSec[r]
+				}
+				s.Programs = append(s.Programs, ps)
+			}
+			hc.Samples = append(hc.Samples, s)
+		}
+		mm.Cells[kind] = hc
+	}
+	return mm
 }
 
 // AttrFromMatrix converts a campaign matrix into an attribution-only file:
@@ -135,6 +238,19 @@ func Read(r io.Reader) (*File, error) {
 		// else must have at least one timing sample.
 		if len(c.Times) == 0 && c.Attr == nil {
 			return nil, fmt.Errorf("results: cell %s has no samples", key)
+		}
+	}
+	if len(f.MultiCells) > 0 && f.CoRun == nil {
+		return nil, fmt.Errorf("results: multi cells without a co-run descriptor")
+	}
+	seenMulti := map[string]bool{}
+	for _, c := range f.MultiCells {
+		if seenMulti[c.Kind] {
+			return nil, fmt.Errorf("results: duplicate multi cell %s", c.Kind)
+		}
+		seenMulti[c.Kind] = true
+		if len(c.Elapsed) == 0 {
+			return nil, fmt.Errorf("results: multi cell %s has no samples", c.Kind)
 		}
 	}
 	return &f, nil

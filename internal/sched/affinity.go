@@ -21,22 +21,32 @@ type Affinity struct{}
 func (a *Affinity) Name() string { return "affinity" }
 
 // Plan implements taskrt.Scheduler.
-func (a *Affinity) Plan(rt *taskrt.Runtime, spec *taskrt.LoopSpec) *taskrt.Plan {
+func (a *Affinity) Plan(rt *taskrt.Runtime, spec *taskrt.LoopSpec, occ *taskrt.Occupancy) *taskrt.Plan {
 	topo := rt.Topology()
-	n := topo.NumCores()
+	free := freeCores(rt, occ)
 	p := &taskrt.Plan{
-		Active: make([]int, n),
+		Active: free,
 		Mode:   taskrt.StealFlat,
 	}
-	for c := 0; c < n; c++ {
-		p.Active[c] = c
+	// A hint lands on the first free core of the hinted node; if a
+	// co-runner owns the whole node (or there is no hint), the first free
+	// core stands in. Empty occupancy reduces both to the original
+	// primary-core / core-0 placement.
+	firstFree := make([]int, topo.NumNodes())
+	for n := range firstFree {
+		firstFree[n] = -1
+	}
+	for _, c := range free {
+		if n := topo.NodeOfCore(c); firstFree[n] < 0 {
+			firstFree[n] = c
+		}
 	}
 	for t := 0; t < spec.Tasks; t++ {
 		lo, hi := spec.ChunkBounds(t)
-		core := 0
+		core := free[0]
 		if spec.Hint != nil {
-			if node := spec.Hint(lo, hi); node >= 0 && node < topo.NumNodes() {
-				core = topo.PrimaryCore(node)
+			if node := spec.Hint(lo, hi); node >= 0 && node < topo.NumNodes() && firstFree[node] >= 0 {
+				core = firstFree[node]
 			}
 		}
 		p.Place = append(p.Place, taskrt.TaskPlacement{Lo: lo, Hi: hi, Core: core})

@@ -38,8 +38,8 @@ func TestAffinityPlacesOnHintedNodes(t *testing.T) {
 	a := &Affinity{}
 	rt := newRT(t, a)
 	spec := hintedLoop(t, rt, 1)
-	plan := a.Plan(rt, spec)
-	if err := plan.Validate(spec, rt.Topology().NumCores()); err != nil {
+	plan := a.Plan(rt, spec, nil)
+	if err := plan.Validate(spec, rt.Topology().NumCores(), nil); err != nil {
 		t.Fatal(err)
 	}
 	// With 32 tasks over 4 nodes (SmallTest), placements must span several
@@ -66,7 +66,7 @@ func TestAffinityWithoutHintsDegradesToMasterQueue(t *testing.T) {
 	a := &Affinity{}
 	rt := newRT(t, a)
 	spec := balancedLoop(1) // no Hint
-	plan := a.Plan(rt, spec)
+	plan := a.Plan(rt, spec, nil)
 	for i, tp := range plan.Place {
 		if tp.Core != 0 {
 			t.Fatalf("task %d on core %d without hints, want master", i, tp.Core)
@@ -107,8 +107,8 @@ func TestAffinityIgnoresInvalidHint(t *testing.T) {
 	rt := newRT(t, a)
 	spec := balancedLoop(1)
 	spec.Hint = func(lo, hi int) int { return -1 }
-	plan := a.Plan(rt, spec)
-	if err := plan.Validate(spec, rt.Topology().NumCores()); err != nil {
+	plan := a.Plan(rt, spec, nil)
+	if err := plan.Validate(spec, rt.Topology().NumCores(), nil); err != nil {
 		t.Fatal(err)
 	}
 	for _, tp := range plan.Place {

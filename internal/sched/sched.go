@@ -8,6 +8,21 @@ import (
 	"github.com/ilan-sched/ilan/internal/taskrt"
 )
 
+// freeCores lists the cores no concurrently live loop holds, in ascending
+// order. With an empty occupancy this is every core, so all schedulers in
+// this package plan exactly as they would in a single-program run; under
+// co-running they degrade gracefully to the machine's free partition.
+func freeCores(rt *taskrt.Runtime, occ *taskrt.Occupancy) []int {
+	n := rt.Topology().NumCores()
+	free := make([]int, 0, n-occ.HeldCount())
+	for c := 0; c < n; c++ {
+		if !occ.Held(c) {
+			free = append(free, c)
+		}
+	}
+	return free
+}
+
 // Baseline models the default LLVM OpenMP tasking scheduler: the thread
 // encountering the taskloop creates every task into its own deque, all
 // threads participate, and idle threads steal from uniformly random victims
@@ -22,19 +37,25 @@ type Baseline struct {
 func (b *Baseline) Name() string { return "baseline" }
 
 // Plan implements taskrt.Scheduler.
-func (b *Baseline) Plan(rt *taskrt.Runtime, spec *taskrt.LoopSpec) *taskrt.Plan {
-	n := rt.Topology().NumCores()
+func (b *Baseline) Plan(rt *taskrt.Runtime, spec *taskrt.LoopSpec, occ *taskrt.Occupancy) *taskrt.Plan {
+	free := freeCores(rt, occ)
 	p := &taskrt.Plan{
-		Active: make([]int, n),
+		Active: free,
 		Place:  make([]taskrt.TaskPlacement, 0, spec.Tasks),
 		Mode:   taskrt.StealFlat,
 	}
-	for c := 0; c < n; c++ {
-		p.Active[c] = c
+	// The encountering thread holds the master deque; if a co-runner owns
+	// that core, the first free core stands in.
+	master := free[0]
+	for _, c := range free {
+		if c == b.MasterCore {
+			master = b.MasterCore
+			break
+		}
 	}
 	for t := 0; t < spec.Tasks; t++ {
 		lo, hi := spec.ChunkBounds(t)
-		p.Place = append(p.Place, taskrt.TaskPlacement{Lo: lo, Hi: hi, Core: b.MasterCore})
+		p.Place = append(p.Place, taskrt.TaskPlacement{Lo: lo, Hi: hi, Core: master})
 	}
 	return p
 }
@@ -52,21 +73,21 @@ type WorkSharing struct{}
 func (w *WorkSharing) Name() string { return "worksharing" }
 
 // Plan implements taskrt.Scheduler.
-func (w *WorkSharing) Plan(rt *taskrt.Runtime, spec *taskrt.LoopSpec) *taskrt.Plan {
-	n := rt.Topology().NumCores()
+func (w *WorkSharing) Plan(rt *taskrt.Runtime, spec *taskrt.LoopSpec, occ *taskrt.Occupancy) *taskrt.Plan {
+	free := freeCores(rt, occ)
+	n := len(free)
 	if n > spec.Iters {
 		n = spec.Iters
 	}
 	p := &taskrt.Plan{
-		Active: make([]int, n),
+		Active: free[:n],
 		Place:  make([]taskrt.TaskPlacement, 0, n),
 		Mode:   taskrt.StealOff,
 	}
-	for c := 0; c < n; c++ {
-		p.Active[c] = c
-		lo := c * spec.Iters / n
-		hi := (c + 1) * spec.Iters / n
-		p.Place = append(p.Place, taskrt.TaskPlacement{Lo: lo, Hi: hi, Core: c, Strict: true})
+	for i := 0; i < n; i++ {
+		lo := i * spec.Iters / n
+		hi := (i + 1) * spec.Iters / n
+		p.Place = append(p.Place, taskrt.TaskPlacement{Lo: lo, Hi: hi, Core: free[i], Strict: true})
 	}
 	return p
 }

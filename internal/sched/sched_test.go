@@ -46,8 +46,8 @@ func TestBaselinePlanShape(t *testing.T) {
 	b := &Baseline{}
 	rt := newRT(t, b)
 	spec := balancedLoop(1)
-	plan := b.Plan(rt, spec)
-	if err := plan.Validate(spec, rt.Topology().NumCores()); err != nil {
+	plan := b.Plan(rt, spec, nil)
+	if err := plan.Validate(spec, rt.Topology().NumCores(), nil); err != nil {
 		t.Fatal(err)
 	}
 	if len(plan.Active) != 16 {
@@ -73,8 +73,8 @@ func TestWorkSharingPlanShape(t *testing.T) {
 	w := &WorkSharing{}
 	rt := newRT(t, w)
 	spec := balancedLoop(1)
-	plan := w.Plan(rt, spec)
-	if err := plan.Validate(spec, rt.Topology().NumCores()); err != nil {
+	plan := w.Plan(rt, spec, nil)
+	if err := plan.Validate(spec, rt.Topology().NumCores(), nil); err != nil {
 		t.Fatal(err)
 	}
 	if len(plan.Place) != 16 {
@@ -98,8 +98,8 @@ func TestWorkSharingFewIterations(t *testing.T) {
 	rt := newRT(t, w)
 	spec := &taskrt.LoopSpec{ID: 1, Name: "tiny", Iters: 3, Tasks: 3,
 		Demand: func(lo, hi int) (float64, []memsys.Access) { return 1e-6, nil }}
-	plan := w.Plan(rt, spec)
-	if err := plan.Validate(spec, rt.Topology().NumCores()); err != nil {
+	plan := w.Plan(rt, spec, nil)
+	if err := plan.Validate(spec, rt.Topology().NumCores(), nil); err != nil {
 		t.Fatal(err)
 	}
 	if len(plan.Active) != 3 {

@@ -28,30 +28,43 @@ type Shepherd struct {
 func (s *Shepherd) Name() string { return "shepherd" }
 
 // Plan implements taskrt.Scheduler.
-func (s *Shepherd) Plan(rt *taskrt.Runtime, spec *taskrt.LoopSpec) *taskrt.Plan {
+func (s *Shepherd) Plan(rt *taskrt.Runtime, spec *taskrt.LoopSpec, occ *taskrt.Occupancy) *taskrt.Plan {
 	topo := rt.Topology()
 	chunk := s.ChunkSize
 	if chunk <= 0 {
 		chunk = 4
 	}
+	free := freeCores(rt, occ)
 	p := &taskrt.Plan{
-		Active:         make([]int, topo.NumCores()),
+		Active:         free,
 		Mode:           taskrt.StealHierarchical,
 		InterNodeSteal: true,
 		StealChunk:     chunk,
 	}
-	for c := range p.Active {
-		p.Active[c] = c
+	// Shepherds are the first free core of each node that has any; the
+	// contiguous task split spans only those nodes. With an empty
+	// occupancy every node participates and its shepherd is its primary
+	// core, the original full-width plan.
+	shepherdOf := make([]int, topo.NumNodes())
+	for n := range shepherdOf {
+		shepherdOf[n] = -1
 	}
-	nNodes := topo.NumNodes()
+	var nodes []int
+	for _, c := range free {
+		n := topo.NodeOfCore(c)
+		if shepherdOf[n] < 0 {
+			shepherdOf[n] = c
+			nodes = append(nodes, n)
+		}
+	}
 	for t := 0; t < spec.Tasks; t++ {
 		lo, hi := spec.ChunkBounds(t)
-		node := t * nNodes / spec.Tasks
-		if node >= nNodes {
-			node = nNodes - 1
+		ni := t * len(nodes) / spec.Tasks
+		if ni >= len(nodes) {
+			ni = len(nodes) - 1
 		}
 		p.Place = append(p.Place, taskrt.TaskPlacement{
-			Lo: lo, Hi: hi, Core: topo.PrimaryCore(node),
+			Lo: lo, Hi: hi, Core: shepherdOf[nodes[ni]],
 		})
 	}
 	return p

@@ -11,8 +11,8 @@ func TestShepherdPlanShape(t *testing.T) {
 	s := &Shepherd{}
 	rt := newRT(t, s)
 	spec := balancedLoop(1)
-	plan := s.Plan(rt, spec)
-	if err := plan.Validate(spec, rt.Topology().NumCores()); err != nil {
+	plan := s.Plan(rt, spec, nil)
+	if err := plan.Validate(spec, rt.Topology().NumCores(), nil); err != nil {
 		t.Fatal(err)
 	}
 	if plan.Mode != taskrt.StealHierarchical || !plan.InterNodeSteal {

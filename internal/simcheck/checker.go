@@ -42,6 +42,20 @@ func (v Violation) String() string {
 // every subsequent task, and one example per run is what a fuzzer needs.
 const maxViolations = 32
 
+// execState is the checker's view of one open loop execution. The runtime
+// is multiprogrammed, so several may be open at once — each with its own
+// task conservation books and active-core partition; plan disjointness
+// lets every core be attributed to at most one open execution.
+type execState struct {
+	spec         *taskrt.LoopSpec
+	plan         *taskrt.Plan
+	started      int
+	completed    int
+	inFlight     map[*taskrt.Task]bool
+	everStarted  map[*taskrt.Task]bool
+	activeByNode [][]int // this execution's active cores per node
+}
+
 // Checker verifies runtime invariants as a taskrt.Probe. Attach builds
 // one; it must not be shared between runtimes.
 type Checker struct {
@@ -53,15 +67,11 @@ type Checker struct {
 	violations []Violation
 	truncated  int // violations dropped beyond maxViolations
 
-	// Per-loop state, reset at LoopStart.
-	spec         *taskrt.LoopSpec
-	plan         *taskrt.Plan
-	started      int
-	completed    int
-	inFlight     map[*taskrt.Task]bool
-	everStarted  map[*taskrt.Task]bool
-	activeByNode [][]int // active cores per node for the current plan
-	lastTime     sim.Time
+	// open holds the in-flight executions in start order; coreOwner maps
+	// each core to the open execution whose plan claims it (nil = free).
+	open      []*execState
+	coreOwner []*execState
+	lastTime  sim.Time
 
 	// Run totals (Stats).
 	loops  int
@@ -75,13 +85,11 @@ type Checker struct {
 // observation, so checked-run outputs stay byte-identical.
 func Attach(rt *taskrt.Runtime) *Checker {
 	c := &Checker{
-		rt:           rt,
-		mach:         rt.Machine(),
-		topo:         rt.Topology(),
-		eng:          rt.Machine().Engine(),
-		inFlight:     make(map[*taskrt.Task]bool),
-		everStarted:  make(map[*taskrt.Task]bool),
-		activeByNode: make([][]int, rt.Topology().NumNodes()),
+		rt:        rt,
+		mach:      rt.Machine(),
+		topo:      rt.Topology(),
+		eng:       rt.Machine().Engine(),
+		coreOwner: make([]*execState, rt.Topology().NumCores()),
 	}
 	rt.EnableAttr()
 	rt.SetProbe(c)
@@ -115,14 +123,10 @@ func (c *Checker) Stats() (loops, tasks, steals int) {
 	return c.loops, c.tasks, c.steals
 }
 
-func (c *Checker) violate(invariant, format string, args ...any) {
+func (c *Checker) violate(invariant, loop, format string, args ...any) {
 	if len(c.violations) >= maxViolations {
 		c.truncated++
 		return
-	}
-	loop := ""
-	if c.spec != nil {
-		loop = c.spec.Name
 	}
 	c.violations = append(c.violations, Violation{
 		TimeSec:   float64(c.eng.Now()),
@@ -132,11 +136,22 @@ func (c *Checker) violate(invariant, format string, args ...any) {
 	})
 }
 
-// checkTime enforces virtual-time monotonicity across probe events.
+// loopOf names an execution for violation reports ("" when unknown).
+func loopOf(es *execState) string {
+	if es == nil {
+		return ""
+	}
+	return es.spec.Name
+}
+
+// checkTime enforces virtual-time monotonicity across probe events. The
+// open set interleaves events from every in-flight execution, so this is
+// also the cross-exec monotonicity invariant: no execution's events may
+// run backwards relative to any other's.
 func (c *Checker) checkTime(where string) {
 	now := c.eng.Now()
 	if now < c.lastTime {
-		c.violate("time-monotonic", "%s observed t=%.12g after t=%.12g", where, float64(now), float64(c.lastTime))
+		c.violate("time-monotonic", "", "%s observed t=%.12g after t=%.12g", where, float64(now), float64(c.lastTime))
 	}
 	c.lastTime = now
 }
@@ -144,29 +159,39 @@ func (c *Checker) checkTime(where string) {
 // LoopStart implements taskrt.Probe.
 func (c *Checker) LoopStart(spec *taskrt.LoopSpec, plan *taskrt.Plan) {
 	c.checkTime("LoopStart")
-	if c.spec != nil {
-		c.violate("loop-serialized", "loop %q started while %q is open", spec.Name, c.spec.Name)
+	// Independent re-validation of the plan the runtime actually received,
+	// against the occupancy the checker tracks itself: schedulers must
+	// never hand over an inconsistent plan, whatever path produced it.
+	occ := taskrt.NewOccupancy(c.topo.NumCores())
+	for core, owner := range c.coreOwner {
+		if owner != nil {
+			occ.Hold(core)
+		}
 	}
-	// Independent re-validation of the plan the runtime actually received:
-	// schedulers must never hand over an inconsistent plan, whatever path
-	// produced it.
-	if err := plan.Validate(spec, c.topo.NumCores()); err != nil {
-		c.violate("plan-valid", "%v", err)
+	if err := plan.Validate(spec, c.topo.NumCores(), occ); err != nil {
+		c.violate("plan-valid", spec.Name, "%v", err)
 	}
-	c.spec, c.plan = spec, plan
-	c.started, c.completed = 0, 0
-	clear(c.inFlight)
-	clear(c.everStarted)
-	for n := range c.activeByNode {
-		c.activeByNode[n] = c.activeByNode[n][:0]
+	es := &execState{
+		spec:         spec,
+		plan:         plan,
+		inFlight:     make(map[*taskrt.Task]bool),
+		everStarted:  make(map[*taskrt.Task]bool),
+		activeByNode: make([][]int, c.topo.NumNodes()),
 	}
 	for _, core := range plan.Active {
 		if core < 0 || core >= c.topo.NumCores() {
 			continue // already reported by plan-valid
 		}
+		if owner := c.coreOwner[core]; owner != nil {
+			c.violate("plan-disjoint", spec.Name,
+				"core %d claimed while loop %q holds it", core, loopOf(owner))
+			continue
+		}
+		c.coreOwner[core] = es
 		n := c.topo.NodeOfCore(core)
-		c.activeByNode[n] = append(c.activeByNode[n], core)
+		es.activeByNode[n] = append(es.activeByNode[n], core)
 	}
+	c.open = append(c.open, es)
 }
 
 // Steal implements taskrt.Probe: it checks the steal against the plan's
@@ -175,46 +200,65 @@ func (c *Checker) LoopStart(spec *taskrt.LoopSpec, plan *taskrt.Plan) {
 func (c *Checker) Steal(thiefCore, victimCore int, task *taskrt.Task, remote, primary bool) {
 	c.checkTime("Steal")
 	c.steals++
-	if c.plan == nil {
-		c.violate("steal-in-loop", "steal outside a loop (thief %d, victim %d)", thiefCore, victimCore)
+	es := c.ownerOf(thiefCore)
+	if es == nil {
+		c.violate("steal-in-loop", "", "steal outside a loop (thief %d, victim %d)", thiefCore, victimCore)
 		return
+	}
+	// Work never crosses executions: the victim's core must belong to the
+	// thief's own loop (concurrent loops have disjoint victim partitions).
+	if vo := c.ownerOf(victimCore); vo != es {
+		c.violate("cross-exec-steal", loopOf(es),
+			"steal %d<-%d crosses executions (victim core owned by loop %q)",
+			thiefCore, victimCore, loopOf(vo))
 	}
 	thiefNode := c.topo.NodeOfCore(thiefCore)
 	victimNode := c.topo.NodeOfCore(victimCore)
 	if wantRemote := thiefNode != victimNode; wantRemote != remote {
-		c.violate("steal-remote-flag", "steal %d<-%d reported remote=%v, nodes %d/%d",
+		c.violate("steal-remote-flag", loopOf(es), "steal %d<-%d reported remote=%v, nodes %d/%d",
 			thiefCore, victimCore, remote, thiefNode, victimNode)
 	}
-	if c.plan.Mode == taskrt.StealOff {
-		c.violate("steal-mode", "steal %d<-%d with stealing disabled", thiefCore, victimCore)
+	if es.plan.Mode == taskrt.StealOff {
+		c.violate("steal-mode", loopOf(es), "steal %d<-%d with stealing disabled", thiefCore, victimCore)
 	}
 	if !remote {
 		return
 	}
 	// Inter-node steal: only non-strict (green) tasks may cross nodes...
 	if task.Strict {
-		c.violate("strict-no-cross", "strict task [%d,%d) home %d stolen across nodes %d<-%d",
+		c.violate("strict-no-cross", loopOf(es), "strict task [%d,%d) home %d stolen across nodes %d<-%d",
 			task.Lo, task.Hi, task.Home, thiefNode, victimNode)
 	}
-	if c.plan.Mode != taskrt.StealHierarchical {
+	if es.plan.Mode != taskrt.StealHierarchical {
 		return
 	}
 	// ...and only when the plan runs the full steal policy...
-	if !c.plan.InterNodeSteal {
-		c.violate("steal-policy", "inter-node steal %d<-%d under steal_policy=strict",
+	if !es.plan.InterNodeSteal {
+		c.violate("steal-policy", loopOf(es), "inter-node steal %d<-%d under steal_policy=strict",
 			thiefCore, victimCore)
 	}
-	// ...and only once the thief's whole node is out of queued work. The
+	// ...and only once the thief's whole node is out of queued work — the
+	// loop's own share of the node, that is: a co-runner's queued tasks on
+	// the same node are invisible to this loop's steal scan. The
 	// precondition applies at the moment of the primary steal; the extra
 	// tasks of a chunked steal land in the thief's own deque by design.
 	if primary {
-		for _, core := range c.activeByNode[thiefNode] {
+		for _, core := range es.activeByNode[thiefNode] {
 			if q := c.rt.QueuedTasks(core); q != 0 {
-				c.violate("full-drain", "inter-node steal %d<-%d while core %d on node %d holds %d queued task(s)",
+				c.violate("full-drain", loopOf(es), "inter-node steal %d<-%d while core %d on node %d holds %d queued task(s)",
 					thiefCore, victimCore, core, thiefNode, q)
 			}
 		}
 	}
+}
+
+// ownerOf returns the open execution holding a core (nil when free or out
+// of range).
+func (c *Checker) ownerOf(core int) *execState {
+	if core < 0 || core >= len(c.coreOwner) {
+		return nil
+	}
+	return c.coreOwner[core]
 }
 
 // TaskStart implements taskrt.Probe: strict tasks must start on their home
@@ -222,18 +266,19 @@ func (c *Checker) Steal(thiefCore, victimCore int, task *taskrt.Task, remote, pr
 func (c *Checker) TaskStart(core int, task *taskrt.Task) {
 	c.checkTime("TaskStart")
 	c.tasks++
-	if c.spec == nil {
-		c.violate("task-in-loop", "task [%d,%d) started outside a loop", task.Lo, task.Hi)
+	es := c.ownerOf(core)
+	if es == nil {
+		c.violate("task-in-loop", "", "task [%d,%d) started outside a loop", task.Lo, task.Hi)
 		return
 	}
-	c.started++
-	if c.everStarted[task] {
-		c.violate("task-once", "task [%d,%d) started twice", task.Lo, task.Hi)
+	es.started++
+	if es.everStarted[task] {
+		c.violate("task-once", loopOf(es), "task [%d,%d) started twice", task.Lo, task.Hi)
 	}
-	c.everStarted[task] = true
-	c.inFlight[task] = true
+	es.everStarted[task] = true
+	es.inFlight[task] = true
 	if node := c.topo.NodeOfCore(core); task.Strict && node != task.Home {
-		c.violate("strict-pinning", "strict task [%d,%d) home node %d executing on core %d (node %d)",
+		c.violate("strict-pinning", loopOf(es), "strict task [%d,%d) home node %d executing on core %d (node %d)",
 			task.Lo, task.Hi, task.Home, core, node)
 	}
 }
@@ -241,13 +286,14 @@ func (c *Checker) TaskStart(core int, task *taskrt.Task) {
 // TaskDone implements taskrt.Probe.
 func (c *Checker) TaskDone(core int, task *taskrt.Task) {
 	c.checkTime("TaskDone")
-	if !c.inFlight[task] {
-		c.violate("task-once", "task [%d,%d) completed on core %d without a matching start",
+	es := c.ownerOf(core)
+	if es == nil || !es.inFlight[task] {
+		c.violate("task-once", loopOf(es), "task [%d,%d) completed on core %d without a matching start",
 			task.Lo, task.Hi, core)
 		return
 	}
-	delete(c.inFlight, task)
-	c.completed++
+	delete(es.inFlight, task)
+	es.completed++
 	// Per-task attribution conservation (DESIGN.md §14). Two laws: the
 	// terms must re-sum to the measured elapsed time, and the residual —
 	// the floating-point closure — must stay within ulps of zero. The
@@ -258,17 +304,17 @@ func (c *Checker) TaskDone(core int, task *taskrt.Task) {
 		a := c.mach.LastTaskAttr()
 		tol := obs.AttrTolerance(a.ElapsedSec)
 		if !within(a.TermSum(), a.ElapsedSec, tol) {
-			c.violate("attr-task-conservation",
+			c.violate("attr-task-conservation", loopOf(es),
 				"task [%d,%d) terms sum to %.17g, elapsed %.17g (tol %.3g)",
 				task.Lo, task.Hi, a.TermSum(), a.ElapsedSec, tol)
 		}
 		if !within(a.ResidualSec, 0, tol) {
-			c.violate("attr-task-exact",
+			c.violate("attr-task-exact", loopOf(es),
 				"task [%d,%d) residual %.17g exceeds tolerance %.3g (elapsed %.17g)",
 				task.Lo, task.Hi, a.ResidualSec, tol, a.ElapsedSec)
 		}
 		if a.InterferenceSec < -tol {
-			c.violate("attr-interference-sign",
+			c.violate("attr-interference-sign", loopOf(es),
 				"task [%d,%d) negative interference stall %.17g",
 				task.Lo, task.Hi, a.InterferenceSec)
 		}
@@ -284,33 +330,58 @@ func within(got, want, tol float64) bool {
 	return d <= tol
 }
 
-// LoopDone implements taskrt.Probe: task conservation and post-loop
-// quiescence.
+// LoopDone implements taskrt.Probe: per-execution task conservation and
+// the appropriate scope of post-loop quiescence.
 func (c *Checker) LoopDone(spec *taskrt.LoopSpec, plan *taskrt.Plan, st *taskrt.LoopStats) {
 	c.checkTime("LoopDone")
 	c.loops++
-	want := len(plan.Place)
-	if c.started != want || c.completed != want {
-		c.violate("task-conservation", "released %d tasks, started %d, completed %d",
-			want, c.started, c.completed)
+	var es *execState
+	idx := -1
+	for i, o := range c.open {
+		if o.plan == plan {
+			es, idx = o, i
+			break
+		}
 	}
-	if len(c.inFlight) != 0 {
-		c.violate("task-conservation", "%d task(s) still in flight at the barrier", len(c.inFlight))
+	if es == nil {
+		c.violate("loop-open", spec.Name, "loop completed without a matching start")
+		return
+	}
+	want := len(plan.Place)
+	if es.started != want || es.completed != want {
+		c.violate("task-conservation", spec.Name, "released %d tasks, started %d, completed %d",
+			want, es.started, es.completed)
+	}
+	if len(es.inFlight) != 0 {
+		c.violate("task-conservation", spec.Name, "%d task(s) still in flight at the barrier", len(es.inFlight))
 	}
 	total := 0
 	for _, n := range st.NodeTasks {
 		total += n
 	}
 	if total != want {
-		c.violate("stats-conservation", "NodeTasks sums to %d, plan released %d", total, want)
+		c.violate("stats-conservation", spec.Name, "NodeTasks sums to %d, plan released %d", total, want)
 	}
-	for core := 0; core < c.topo.NumCores(); core++ {
+	// This execution's deques must be dry; co-runners' cores may still
+	// hold queued work, and the machine only quiesces when the last open
+	// execution completes.
+	for _, core := range plan.Active {
+		if core < 0 || core >= c.topo.NumCores() {
+			continue
+		}
 		if q := c.rt.QueuedTasks(core); q != 0 {
-			c.violate("deque-drained", "core %d holds %d queued task(s) after the barrier", core, q)
+			c.violate("deque-drained", spec.Name, "core %d holds %d queued task(s) after the barrier", core, q)
 		}
 	}
-	if !c.mach.Quiesced() {
-		c.violate("machine-quiesced", "machine not quiesced after the barrier")
+	if len(c.open) == 1 {
+		for core := 0; core < c.topo.NumCores(); core++ {
+			if q := c.rt.QueuedTasks(core); q != 0 {
+				c.violate("deque-drained", spec.Name, "core %d holds %d queued task(s) after the last barrier", core, q)
+			}
+		}
+		if !c.mach.Quiesced() {
+			c.violate("machine-quiesced", spec.Name, "machine not quiesced after the last barrier")
+		}
 	}
 	// Loop-level attribution conservation: select + task + steal +
 	// imbalance + barrier + residual must re-sum to makespan × |Active|
@@ -322,15 +393,21 @@ func (c *Checker) LoopDone(spec *taskrt.LoopSpec, plan *taskrt.Plan, st *taskrt.
 	if la, ok := c.rt.LastLoopAttr(); ok {
 		tol := obs.AttrTolerance(la.CoreSec)
 		if !within(la.TermSum(), la.CoreSec, tol) {
-			c.violate("attr-loop-conservation",
+			c.violate("attr-loop-conservation", spec.Name,
 				"terms sum to %.17g core-seconds, measured %.17g (tol %.3g)",
 				la.TermSum(), la.CoreSec, tol)
 		}
 		if !within(la.ResidualSec, 0, tol) {
-			c.violate("attr-loop-exact",
+			c.violate("attr-loop-exact", spec.Name,
 				"residual %.17g core-seconds exceeds tolerance %.3g (core-seconds %.17g)",
 				la.ResidualSec, tol, la.CoreSec)
 		}
 	}
-	c.spec, c.plan = nil, nil
+	// Release this execution's cores and close it.
+	for core, owner := range c.coreOwner {
+		if owner == es {
+			c.coreOwner[core] = nil
+		}
+	}
+	c.open = append(c.open[:idx], c.open[idx+1:]...)
 }

@@ -47,8 +47,11 @@ func testSpec(iters, tasks int) *taskrt.LoopSpec {
 }
 
 // testPlan places each of the spec's tasks on consecutive cores of node 0.
+// The active set also spans nodes 1 and 2 so steal/pinning tests can drive
+// probe events from cores the plan owns (the checker attributes every
+// event to the execution holding its core).
 func testPlan(spec *taskrt.LoopSpec) *taskrt.Plan {
-	p := &taskrt.Plan{Active: []int{0, 1, 2, 3}, Mode: taskrt.StealHierarchical}
+	p := &taskrt.Plan{Active: []int{0, 1, 2, 3, 4, 5, 6, 7, 8}, Mode: taskrt.StealHierarchical}
 	for t := 0; t < spec.Tasks; t++ {
 		lo, hi := spec.ChunkBounds(t)
 		p.Place = append(p.Place, taskrt.TaskPlacement{Lo: lo, Hi: hi, Core: t % 4})
@@ -193,8 +196,8 @@ func TestCheckerStealInvariants(t *testing.T) {
 		plan := testPlan(spec)
 		plan.InterNodeSteal = true
 		ck.LoopStart(spec, plan)
-		// Thief node 1 has no active cores (plan actives are 0-3), so the
-		// full-drain precondition holds trivially on a fresh runtime.
+		// Thief node 1's deques are all empty on a fresh runtime, so the
+		// full-drain precondition holds.
 		ck.Steal(4, 0, &taskrt.Task{Lo: 0, Hi: 1}, true, true)
 		if err := ck.Err(); err != nil {
 			t.Fatalf("legal inter-node steal flagged: %v", err)

@@ -92,9 +92,16 @@ type Scenario struct {
 	// so the fuzzers exercise both refresh paths against the same oracles
 	// (the two must be byte-identical; a divergence is a coalescing bug).
 	NoCoalesce bool
-	Sched      SchedGen
-	Loops      []LoopGen
-	Steps      int
+	// Programs > 1 runs that many identically-shaped program copies as a
+	// concurrent workload through the admission queue; <= 1 is the solo
+	// RunProgram path.
+	Programs int
+	// ArrivalSpread staggers workload program arrivals over [0, spread)
+	// seconds (0 = all arrive at t=0). Only meaningful with Programs > 1.
+	ArrivalSpread float64
+	Sched         SchedGen
+	Loops         []LoopGen
+	Steps         int
 }
 
 // GenTopoSpec draws a random valid topology spec, deliberately covering
@@ -180,6 +187,17 @@ func GenScenario(src Source, seed uint64) Scenario {
 	default:
 		sc.Sched = SchedGen{Kind: -1, PlanSeed: seed ^ 0xc0ffee}
 	}
+
+	// Roughly a third of scenarios co-run two program copies so the
+	// invariants (plan disjointness, per-exec conservation, cross-exec
+	// time monotonicity) are exercised with live co-runners; half of
+	// those stagger the arrivals.
+	if src.Intn(3) == 0 {
+		sc.Programs = 2
+		if src.Intn(2) == 0 {
+			sc.ArrivalSpread = 1e-4 * src.Float64()
+		}
+	}
 	return sc
 }
 
@@ -226,9 +244,13 @@ func (sc Scenario) SchedName() string {
 // String renders the scenario compactly for failure reports.
 func (sc Scenario) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "scenario{%dx%dx%d ccd=%d seed=%#x noise=%v coalesce=%v sched=%s steps=%d loops=[",
+	fmt.Fprintf(&b, "scenario{%dx%dx%d ccd=%d seed=%#x noise=%v coalesce=%v sched=%s steps=%d",
 		sc.Spec.Sockets, sc.Spec.NodesPerSocket, sc.Spec.CoresPerNode, sc.Spec.CoresPerCCD,
 		sc.Seed, sc.Noise, !sc.NoCoalesce, sc.SchedName(), sc.Steps)
+	if sc.Programs > 1 {
+		fmt.Fprintf(&b, " progs=%d spread=%.3g", sc.Programs, sc.ArrivalSpread)
+	}
+	b.WriteString(" loops=[")
 	for i, l := range sc.Loops {
 		if i > 0 {
 			b.WriteString(" ")
@@ -254,25 +276,54 @@ func genWeight(i int, amp float64) float64 {
 // BuildProgram materializes the scenario's workload on a machine: regions
 // are allocated and block-placed across all nodes, loops become LoopSpecs.
 func (sc Scenario) BuildProgram(m *machine.Machine) *taskrt.Program {
+	return sc.buildProgram(m, -1)
+}
+
+// BuildWorkload materializes the scenario as a Programs-way concurrent
+// workload: each program is an identically-shaped copy with disjoint loop
+// IDs and its own memory regions.
+func (sc Scenario) BuildWorkload(m *machine.Machine) *taskrt.Workload {
+	n := sc.Programs
+	if n < 1 {
+		n = 1
+	}
+	w := &taskrt.Workload{Name: "fuzz", ArrivalSpreadSec: sc.ArrivalSpread}
+	for i := 0; i < n; i++ {
+		w.Programs = append(w.Programs, sc.buildProgram(m, i))
+	}
+	return w
+}
+
+// buildProgram builds one program copy. idx < 0 is the solo program
+// (named "fuzz", loop IDs 1..n — unchanged from before workloads
+// existed); idx >= 0 is workload copy "p<idx>" with loop IDs offset by
+// 1000*idx so copies never collide.
+func (sc Scenario) buildProgram(m *machine.Machine, idx int) *taskrt.Program {
 	nodes := make([]int, m.Topology().NumNodes())
 	for i := range nodes {
 		nodes[i] = i
 	}
-	p := &taskrt.Program{Name: "fuzz"}
+	name, idBase, regPfx := "fuzz", 0, ""
+	if idx >= 0 {
+		name = fmt.Sprintf("p%d", idx)
+		idBase = 1000 * idx
+		regPfx = name + "."
+	}
+	p := &taskrt.Program{Name: name}
 	for li, lg := range sc.Loops {
 		lg := lg
 		var stream, span *memsys.Region
 		if lg.StreamBytes > 0 {
-			stream = m.Memory().NewRegion(fmt.Sprintf("stream%d", li),
+			stream = m.Memory().NewRegion(fmt.Sprintf("%sstream%d", regPfx, li),
 				int64(lg.Iters)*lg.StreamBytes)
 			stream.PlaceBlocked(nodes)
 		}
 		if lg.SpanBytes > 0 {
-			span = m.Memory().NewRegion(fmt.Sprintf("span%d", li), 8<<20)
+			span = m.Memory().NewRegion(fmt.Sprintf("%sspan%d", regPfx, li), 8<<20)
 			span.PlaceBlocked(nodes)
 		}
 		spec := &taskrt.LoopSpec{
-			ID:    li + 1,
+			ID:    idBase + li + 1,
 			Name:  fmt.Sprintf("loop%d", li),
 			Iters: lg.Iters,
 			Tasks: lg.Tasks,
@@ -359,6 +410,23 @@ func (sc Scenario) runSeed(seed uint64) Result {
 	m.Engine().SetLimit(eventLimit)
 	rt := taskrt.New(m, sc.scheduler(), taskrt.DefaultCosts())
 	ck := Attach(rt)
+
+	if sc.Programs > 1 {
+		wres, err := rt.RunWorkload(sc.BuildWorkload(m))
+		r := Result{Err: err, Check: ck.Err()}
+		r.Loops, r.Tasks, r.Steals = ck.Stats()
+		if err == nil {
+			var b strings.Builder
+			fmt.Fprintf(&b, "%x", float64(wres.Elapsed))
+			for _, pr := range wres.Programs {
+				fmt.Fprintf(&b, "|%s:%x:%x:%d:%d", pr.Name, pr.ArrivalSec,
+					pr.MakespanSec, pr.LoopExecutions, pr.TasksExecuted)
+			}
+			r.Digest = b.String()
+		}
+		return r
+	}
+
 	prog := sc.BuildProgram(m)
 	res, err := rt.RunProgram(prog)
 	r := Result{Err: err, Check: ck.Err()}

@@ -49,7 +49,9 @@ func CheckDeterminism(sc Scenario) error {
 // soundly applies to (noise off, work-sharing scheduler: no steal-path
 // RNG draws). It returns nil for scenarios outside that envelope.
 func CheckSeedIndependence(sc Scenario) error {
-	if sc.Noise || !stealFree(sc) {
+	// Staggered workload arrivals draw from the machine RNG, so the seed
+	// is not inert for spread > 0 even with stealing and noise off.
+	if sc.Noise || !stealFree(sc) || (sc.Programs > 1 && sc.ArrivalSpread > 0) {
 		return nil
 	}
 	a := sc.Run()
@@ -159,7 +161,7 @@ type renumberPlanSched struct {
 }
 
 func (s *renumberPlanSched) Name() string { return "renumber" }
-func (s *renumberPlanSched) Plan(rt *taskrt.Runtime, spec *taskrt.LoopSpec) *taskrt.Plan {
+func (s *renumberPlanSched) Plan(rt *taskrt.Runtime, spec *taskrt.LoopSpec, _ *taskrt.Occupancy) *taskrt.Plan {
 	return s.plans[spec.ID]
 }
 func (s *renumberPlanSched) Observe(*taskrt.Runtime, *taskrt.LoopSpec, *taskrt.LoopStats) {}

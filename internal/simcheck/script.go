@@ -17,14 +17,24 @@ type scriptSched struct {
 
 func (s *scriptSched) Name() string { return "scripted" }
 
-func (s *scriptSched) Plan(rt *taskrt.Runtime, spec *taskrt.LoopSpec) *taskrt.Plan {
+func (s *scriptSched) Plan(rt *taskrt.Runtime, spec *taskrt.LoopSpec, occ *taskrt.Occupancy) *taskrt.Plan {
 	topo := rt.Topology()
 	nCores := topo.NumCores()
 
-	// Random non-empty active set, drawn as a random prefix size of a
-	// random permutation so narrow and wide sets both occur.
+	// Random non-empty active set over the FREE cores, drawn as a random
+	// prefix size of a random permutation so narrow and wide sets both
+	// occur. Restricting to free cores keeps the adversarial plans
+	// Validate-clean under multiprogram scenarios; the permutation is
+	// drawn over all cores first so solo scenarios keep their exact
+	// historical draw sequence.
 	perm := s.rng.Perm(nCores)
-	active := perm[:1+s.rng.Intn(nCores)]
+	free := perm[:0]
+	for _, c := range perm {
+		if !occ.Held(c) {
+			free = append(free, c)
+		}
+	}
+	active := free[:1+s.rng.Intn(len(free))]
 	p := &taskrt.Plan{
 		Active:            append([]int(nil), active...),
 		Mode:              taskrt.StealMode(s.rng.Intn(3)),

@@ -92,7 +92,7 @@ func (rt *Runtime) attrCompleteLoop(le *loopExec) {
 		la.ImbalanceSec + la.BarrierSec)
 	rt.lastLoopAttr = la
 
-	t := rt.attrLoops[le.spec.Name]
+	t := rt.attrLoops[attrKey(le.spec)]
 	t.Executions += la.Executions
 	t.MakespanSec += la.MakespanSec
 	t.CoreSec += la.CoreSec
@@ -103,7 +103,17 @@ func (rt *Runtime) attrCompleteLoop(le *loopExec) {
 	t.BarrierSec += la.BarrierSec
 	t.QueueWaitSec += la.QueueWaitSec
 	t.ResidualSec += la.ResidualSec
-	rt.attrLoops[le.spec.Name] = t
+	rt.attrLoops[attrKey(le.spec)] = t
+}
+
+// attrKey names a loop's attribution bucket. Multiprogrammed runs prefix
+// the program so same-named loops from co-running programs don't merge;
+// solo loops keep their bare name, preserving existing report keys.
+func attrKey(spec *LoopSpec) string {
+	if spec.Program == "" {
+		return spec.Name
+	}
+	return spec.Program + "/" + spec.Name
 }
 
 // AttrSnapshot exports the run's attribution report: the machine's

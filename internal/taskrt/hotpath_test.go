@@ -16,7 +16,7 @@ type silentScheduler struct {
 }
 
 func (s *silentScheduler) Name() string                            { return "silent" }
-func (s *silentScheduler) Plan(rt *Runtime, l *LoopSpec) *Plan     { return s.plan(rt, l) }
+func (s *silentScheduler) Plan(rt *Runtime, l *LoopSpec, _ *Occupancy) *Plan { return s.plan(rt, l) }
 func (s *silentScheduler) Observe(*Runtime, *LoopSpec, *LoopStats) {}
 
 // loopAllocs measures the average allocations of one full loop execution
@@ -347,7 +347,10 @@ func TestVictimPartitionMatchesPlan(t *testing.T) {
 	rt := newTestRuntime(t, &silentScheduler{plan: plan})
 	rt.SubmitLoop(computeLoop(1, 12, 12, 1e-6), nil)
 
-	v := &rt.victims
+	if len(rt.execs) != 1 {
+		t.Fatalf("in-flight table has %d executions, want 1", len(rt.execs))
+	}
+	v := &rt.execs[0].victims
 	if len(v.flat) != len(active) {
 		t.Fatalf("flat has %d entries, want %d", len(v.flat), len(active))
 	}

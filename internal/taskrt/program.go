@@ -34,9 +34,20 @@ func (p *Program) Validate() error {
 		}
 		ids[l.ID] = true
 	}
+	used := make([]bool, len(p.Loops))
 	for _, s := range p.Sequence {
 		if s < 0 || s >= len(p.Loops) {
 			return fmt.Errorf("taskrt: program %q sequence index %d out of range", p.Name, s)
+		}
+		used[s] = true
+	}
+	// Dead loop specs are rejected rather than ignored: an unreferenced
+	// Loops entry is almost always a mis-built Sequence, and silently
+	// accepting it would let a benchmark drop work without any signal.
+	for i, u := range used {
+		if !u {
+			return fmt.Errorf("taskrt: program %q declares loop %q (ID %d) that Sequence never references",
+				p.Name, p.Loops[i].Name, p.Loops[i].ID)
 		}
 	}
 	return nil
@@ -62,20 +73,28 @@ func (rt *Runtime) RunProgram(p *Program) (*RunResult, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	if rt.cur != nil {
+	if len(rt.execs) != 0 {
 		return nil, fmt.Errorf("taskrt: RunProgram while a loop is in flight")
 	}
 	start := rt.eng.Now()
 	tasksBefore := rt.mach.TasksStarted()
 
-	var step func(i int)
-	step = func(i int) {
-		if i == len(p.Sequence) {
+	// The continuation is iterative, not recursive: SubmitLoop's done
+	// callback fires from the event loop, so a self-referencing step that
+	// advances a cursor submits the next loop without growing the native
+	// stack with the sequence length (done callbacks return before the
+	// next completion event runs).
+	cursor := 0
+	var step func(*LoopStats)
+	step = func(*LoopStats) {
+		if cursor == len(p.Sequence) {
 			return
 		}
-		rt.SubmitLoop(p.Loops[p.Sequence[i]], func(*LoopStats) { step(i + 1) })
+		i := p.Sequence[cursor]
+		cursor++
+		rt.SubmitLoop(p.Loops[i], step)
 	}
-	step(0)
+	step(nil)
 	if err := rt.eng.Run(); err != nil {
 		return nil, fmt.Errorf("taskrt: program %q: %w", p.Name, err)
 	}

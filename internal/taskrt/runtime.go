@@ -36,6 +36,14 @@ func DefaultCosts() Costs {
 // Runtime executes taskloops on a simulated machine under a Scheduler.
 // One Runtime corresponds to one application run: its scheduler state
 // (e.g. ILAN's PTT) starts cold and persists across all loops of the run.
+//
+// The runtime is multiprogrammed: several loop executions — one per
+// co-running program — can be in flight at once, space-sharing the
+// machine. Their plans are core-disjoint (Plan.Validate enforces it
+// against the live occupancy), each active thread is bound to exactly one
+// execution, and all per-loop state lives on the execution, so concurrent
+// loops never share mutable scheduling state. A solo program is the
+// degenerate case with one entry in the table at a time.
 type Runtime struct {
 	mach  *machine.Machine
 	topo  *topology.Machine
@@ -45,9 +53,15 @@ type Runtime struct {
 	rng   *sim.RNG
 
 	threads []*thread
-	cur     *loopExec
-	energy  machine.EnergyModel
-	trace   *Trace
+	// execs is the table of in-flight loop executions in submission
+	// order, keyed by their execution IDs (loopExec.id). Concurrent
+	// entries hold disjoint core sets.
+	execs      []*loopExec
+	nextExecID int
+	// occ is the reusable occupancy view assembled for each Plan call.
+	occ    Occupancy
+	energy machine.EnergyModel
+	trace  *Trace
 
 	// probe is the attached lifecycle observer (nil = off, the default).
 	// Every use is nil-guarded; see probe.go for the overhead contract.
@@ -59,22 +73,11 @@ type Runtime struct {
 	obsRun      *obs.Run
 	obsLoopHist *obs.Histogram
 
-	// victims is the current plan's victim partition, rebuilt once per
-	// SubmitLoop so trySteal never assembles victim slices per attempt.
-	victims victimSet
-	// taskBuf is the per-loop task backing store. Loops are serialized and
-	// every task is consumed before the barrier, so one buffer (grown to
-	// the widest loop seen) serves the whole run without per-task allocs.
-	taskBuf []Task
-
-	// Pre-bound loop-lifecycle callbacks, created once so SubmitLoop and
-	// finishLoop do not allocate a closure per loop.
-	releaseFn  sim.Event
-	loopDoneFn sim.Event
-
 	// attrOn gates virtual-time attribution (see attr.go). attrIdleSince
-	// stamps, per core, when the thread last became idle within the current
-	// loop; attrLoops accumulates per-loop decompositions across the run.
+	// stamps, per core, when the thread last became idle within the loop
+	// it is bound to (cores are held by at most one execution, so the
+	// per-core array needs no per-exec split); attrLoops accumulates
+	// per-loop decompositions across the run.
 	attrOn        bool
 	attrIdleSince []sim.Time
 	attrLoops     map[string]obs.LoopAttr
@@ -93,7 +96,8 @@ type Runtime struct {
 // victimSet is a plan-scoped partition of the active threads, precomputed
 // at SubmitLoop. Entries preserve plan.Active order, which the
 // draw-order-preserving shuffle in trySteal depends on (see DESIGN.md).
-// Backing arrays are reused across loops.
+// Each in-flight execution carries its own partition, so concurrent loops
+// steal strictly within their own active sets.
 type victimSet struct {
 	flat         []*thread   // all active threads (StealFlat scans these)
 	localByNode  [][]*thread // active threads on each node
@@ -106,6 +110,12 @@ type thread struct {
 	deque   []*Task // owner pops from the back, thieves scan from the front
 	idle    bool
 	pending bool // a dispatch event is already scheduled
+
+	// exec is the in-flight loop execution this thread is bound to, nil
+	// while unclaimed. Set when a plan claims the core at submission,
+	// cleared at the loop's completion; plan disjointness guarantees at
+	// most one execution holds a thread at a time.
+	exec *loopExec
 
 	// In-flight dispatch state. A thread has at most one acquired task
 	// between dispatch and completion, so the per-dispatch values live
@@ -128,15 +138,27 @@ type thread struct {
 }
 
 type loopExec struct {
+	id          int // execution ID: the in-flight table key
 	spec        *LoopSpec
 	plan        *Plan
 	remaining   int
 	start       sim.Time
 	startJoules float64
-	exec        int // execution ordinal for tracing
+	exec        int // per-loop execution ordinal for tracing
 	startCtrs   machine.Counters
 	st          LoopStats
 	done        func(*LoopStats)
+
+	// victims is this execution's victim partition; tasks is its task
+	// backing store. Both are execution-scoped so that concurrent loops
+	// steal and release independently.
+	victims victimSet
+	tasks   []Task
+
+	// Pre-bound lifecycle events (created once per execution): the
+	// post-setup task release and the post-barrier completion.
+	releaseFn  sim.Event
+	loopDoneFn sim.Event
 
 	// Attribution scratch (only written under Runtime.attrOn): the release
 	// and finish instants plus the loop's dispatch-cost, imbalance, and
@@ -183,16 +205,6 @@ func New(mach *machine.Machine, sched Scheduler, costs Costs) *Runtime {
 		th.taskDoneFn = func() { rt.taskDone(th) }
 		rt.threads = append(rt.threads, th)
 	}
-	nNodes := rt.topo.NumNodes()
-	rt.victims.flat = make([]*thread, 0, nCores)
-	rt.victims.localByNode = make([][]*thread, nNodes)
-	rt.victims.remoteByNode = make([][]*thread, nNodes)
-	for n := 0; n < nNodes; n++ {
-		rt.victims.localByNode[n] = make([]*thread, 0, nCores)
-		rt.victims.remoteByNode[n] = make([]*thread, 0, nCores)
-	}
-	rt.releaseFn = rt.releaseTasks
-	rt.loopDoneFn = rt.completeLoop
 	return rt
 }
 
@@ -213,17 +225,19 @@ func (rt *Runtime) SetEnergyModel(em machine.EnergyModel) { rt.energy = em }
 func (rt *Runtime) EnergyModel() machine.EnergyModel { return rt.energy }
 
 // SubmitLoop starts one taskloop execution. done fires after the barrier.
-// Loops are serialized: submitting while one is in flight panics, matching
-// the structure of the benchmarks (taskloop + implicit barrier).
+// Executions from different programs may be in flight concurrently as long
+// as their plans are core-disjoint; a plan claiming a held core panics at
+// validation. Within one program, loops still serialize through their
+// barriers (RunProgram / the workload admission queue submit the next loop
+// only from the previous loop's done callback).
 func (rt *Runtime) SubmitLoop(spec *LoopSpec, done func(*LoopStats)) {
-	if rt.cur != nil {
-		panic(fmt.Sprintf("taskrt: loop %q submitted while %q is running", spec.Name, rt.cur.spec.Name))
-	}
 	if err := spec.Validate(); err != nil {
 		panic(err)
 	}
-	plan := rt.sched.Plan(rt, spec)
-	if err := plan.Validate(spec, rt.topo.NumCores()); err != nil {
+	occ := rt.occupancy()
+	plan := rt.sched.Plan(rt, spec, occ)
+	plan.Owner = spec.Program
+	if err := plan.Validate(spec, rt.topo.NumCores(), occ); err != nil {
 		panic(err)
 	}
 	if rt.probe != nil {
@@ -231,6 +245,7 @@ func (rt *Runtime) SubmitLoop(spec *LoopSpec, done func(*LoopStats)) {
 	}
 
 	le := &loopExec{
+		id:          rt.nextExecID,
 		spec:        spec,
 		plan:        plan,
 		remaining:   len(plan.Place),
@@ -238,6 +253,9 @@ func (rt *Runtime) SubmitLoop(spec *LoopSpec, done func(*LoopStats)) {
 		startJoules: rt.mach.EnergyJoules(rt.energy),
 		done:        done,
 	}
+	rt.nextExecID++
+	le.releaseFn = func() { rt.releaseTasks(le) }
+	le.loopDoneFn = func() { rt.completeLoop(le) }
 	le.st.NodeTaskSeconds = make([]float64, rt.topo.NumNodes())
 	le.st.NodeTasks = make([]int, rt.topo.NumNodes())
 	le.st.ActiveThreads = len(plan.Active)
@@ -245,31 +263,88 @@ func (rt *Runtime) SubmitLoop(spec *LoopSpec, done func(*LoopStats)) {
 		le.exec = rt.trace.beginLoop(spec)
 	}
 	le.startCtrs = rt.mach.Counters()
-	rt.cur = le
-	rt.buildVictims(plan)
+	rt.execs = append(rt.execs, le)
+	for _, c := range plan.Active {
+		rt.threads[c].exec = le
+	}
+	le.buildVictims(rt)
 
 	setup := sim.Duration(plan.SelectOverheadSec) +
 		rt.costs.TaskCreate*sim.Duration(len(plan.Place))
-	rt.chargeOverhead(float64(setup))
+	rt.chargeOverhead(le, float64(setup))
 
-	rt.eng.After(setup, rt.releaseFn)
+	rt.eng.After(setup, le.releaseFn)
 }
 
-// buildVictims computes the plan's victim partition. Partitions are
+// occupancy assembles the live occupancy view over the in-flight table.
+// The view is runtime-owned and rebuilt per call; Plan implementations
+// must not retain it.
+func (rt *Runtime) occupancy() *Occupancy {
+	o := &rt.occ
+	if len(o.held) != rt.topo.NumCores() {
+		o.held = make([]bool, rt.topo.NumCores())
+	}
+	for i := range o.held {
+		o.held[i] = false
+	}
+	o.count = 0
+	for _, le := range rt.execs {
+		for _, c := range le.plan.Active {
+			if !o.held[c] {
+				o.held[c] = true
+				o.count++
+			}
+		}
+	}
+	return o
+}
+
+// InFlight reports the number of loop executions currently in the table.
+func (rt *Runtime) InFlight() int { return len(rt.execs) }
+
+// freeCores reports how many cores no in-flight execution holds. Plans
+// are core-disjoint, so the active sets sum exactly.
+func (rt *Runtime) freeCores() int {
+	held := 0
+	for _, le := range rt.execs {
+		held += len(le.plan.Active)
+	}
+	return rt.topo.NumCores() - held
+}
+
+// buildVictims computes the execution's victim partition. Partitions are
 // plan-scoped: Active is fixed for the whole loop, so the grouping never
 // changes between steal attempts — only the scan order does, and that is
 // (re)drawn per attempt over the per-thread scratch buffer.
-func (rt *Runtime) buildVictims(plan *Plan) {
-	v := &rt.victims
-	v.flat = v.flat[:0]
-	for n := range v.localByNode {
-		v.localByNode[n] = v.localByNode[n][:0]
-		v.remoteByNode[n] = v.remoteByNode[n][:0]
+func (le *loopExec) buildVictims(rt *Runtime) {
+	nNodes := rt.topo.NumNodes()
+	nActive := len(le.plan.Active)
+	v := &le.victims
+	v.flat = make([]*thread, 0, nActive)
+	v.localByNode = make([][]*thread, nNodes)
+	v.remoteByNode = make([][]*thread, nNodes)
+	// Two shared backing arrays keep the partition's allocation count
+	// independent of both the active-set size and the node count: the
+	// local groups partition Active, the remote groups tile it once per
+	// other node.
+	localBack := make([]*thread, 0, nActive)
+	remoteBack := make([]*thread, 0, nActive*(nNodes-1))
+	perNode := make([]int, nNodes)
+	for _, c := range le.plan.Active {
+		perNode[rt.threads[c].node]++
 	}
-	for _, c := range plan.Active {
+	for n := 0; n < nNodes; n++ {
+		lo := len(localBack)
+		v.localByNode[n] = localBack[lo : lo : lo+perNode[n]]
+		localBack = localBack[:lo+perNode[n]]
+		ro := len(remoteBack)
+		v.remoteByNode[n] = remoteBack[ro : ro : ro+nActive-perNode[n]]
+		remoteBack = remoteBack[:ro+nActive-perNode[n]]
+	}
+	for _, c := range le.plan.Active {
 		th := rt.threads[c]
 		v.flat = append(v.flat, th)
-		for n := range v.localByNode {
+		for n := 0; n < nNodes; n++ {
 			if th.node == n {
 				v.localByNode[n] = append(v.localByNode[n], th)
 			} else {
@@ -279,18 +354,17 @@ func (rt *Runtime) buildVictims(plan *Plan) {
 	}
 }
 
-// releaseTasks enqueues the current plan's tasks and wakes the active
+// releaseTasks enqueues the execution's tasks and wakes its active
 // threads; it runs once per loop after the setup delay.
-func (rt *Runtime) releaseTasks() {
-	le := rt.cur
+func (rt *Runtime) releaseTasks(le *loopExec) {
 	plan := le.plan
 	if rt.attrOn {
 		rt.attrRelease(le)
 	}
-	if cap(rt.taskBuf) < len(plan.Place) {
-		rt.taskBuf = make([]Task, len(plan.Place))
+	if cap(le.tasks) < len(plan.Place) {
+		le.tasks = make([]Task, len(plan.Place))
 	}
-	tasks := rt.taskBuf[:len(plan.Place)]
+	tasks := le.tasks[:len(plan.Place)]
 	for i, tp := range plan.Place {
 		th := rt.threads[tp.Core]
 		tasks[i] = Task{Lo: tp.Lo, Hi: tp.Hi, Strict: tp.Strict, Home: th.node}
@@ -318,7 +392,7 @@ func (rt *Runtime) wake(core int) {
 // the rest of the loop.
 func (rt *Runtime) dispatch(th *thread) {
 	th.pending = false
-	le := rt.cur
+	le := th.exec
 	if le == nil {
 		th.idle = true
 		return
@@ -328,7 +402,7 @@ func (rt *Runtime) dispatch(th *thread) {
 	var scanned int
 	var victim *thread
 	if task == nil {
-		task, remote, scanned, victim = rt.trySteal(th)
+		task, remote, scanned, victim = rt.trySteal(th, le)
 		stolen = task != nil
 		attempted = le.plan.Mode != StealOff
 	}
@@ -362,7 +436,7 @@ func (rt *Runtime) dispatch(th *thread) {
 		// A failed full scan still costs bookkeeping time before the
 		// thread parks; charge it to overhead (the thread is idle anyway,
 		// so no virtual-time delay is modelled).
-		rt.chargeOverhead(float64(rt.costs.VictimScan * sim.Duration(scanned)))
+		rt.chargeOverhead(le, float64(rt.costs.VictimScan*sim.Duration(scanned)))
 		th.idle = true
 		if rt.attrOn {
 			rt.attrIdleSince[th.core] = rt.eng.Now()
@@ -384,7 +458,7 @@ func (rt *Runtime) dispatch(th *thread) {
 			le.st.StealsLocal++
 		}
 	}
-	rt.chargeOverhead(float64(cost))
+	rt.chargeOverhead(le, float64(cost))
 
 	th.curTask = task
 	th.curStolen = stolen
@@ -399,7 +473,7 @@ func (rt *Runtime) dispatch(th *thread) {
 // execTask starts the thread's acquired task on the machine after the
 // dispatch cost has elapsed.
 func (rt *Runtime) execTask(th *thread) {
-	le := rt.cur
+	le := th.exec
 	if le == nil {
 		panic("taskrt: task dispatched outside a loop")
 	}
@@ -414,7 +488,7 @@ func (rt *Runtime) execTask(th *thread) {
 
 // taskDone records the finished task and drives the thread's next dispatch.
 func (rt *Runtime) taskDone(th *thread) {
-	le := rt.cur
+	le := th.exec
 	if le == nil {
 		panic("taskrt: task completed outside a loop")
 	}
@@ -423,6 +497,7 @@ func (rt *Runtime) taskDone(th *thread) {
 		ta := rt.mach.LastTaskAttr()
 		rt.trace.record(TaskEvent{
 			LoopID: le.spec.ID, LoopName: le.spec.Name, Exec: le.exec,
+			Program: le.spec.Program,
 			Lo: task.Lo, Hi: task.Hi, Core: th.core, Node: th.node,
 			StartSec: float64(th.curStart), EndSec: float64(rt.eng.Now()),
 			Stolen: th.curStolen, Remote: th.curRemote,
@@ -451,7 +526,7 @@ func (rt *Runtime) sampleResources() {
 }
 
 func (rt *Runtime) onTaskDone(th *thread, durSec float64) {
-	le := rt.cur
+	le := th.exec
 	if le == nil {
 		panic("taskrt: task completed outside a loop")
 	}
@@ -475,17 +550,14 @@ func (rt *Runtime) onTaskDone(th *thread, durSec float64) {
 
 func (rt *Runtime) finishLoop(le *loopExec) {
 	barrier := rt.costs.Barrier * sim.Duration(len(le.plan.Active))
-	rt.chargeOverhead(float64(barrier))
-	rt.eng.After(barrier, rt.loopDoneFn)
+	rt.chargeOverhead(le, float64(barrier))
+	rt.eng.After(barrier, le.loopDoneFn)
 }
 
 // completeLoop fires after the barrier: it finalizes the loop's stats,
-// hands them to the scheduler, and releases the runtime for the next loop.
-func (rt *Runtime) completeLoop() {
-	le := rt.cur
-	if le == nil {
-		panic("taskrt: loop completion outside a loop")
-	}
+// hands them to the scheduler, and removes the execution from the
+// in-flight table, releasing its cores for waiting submissions.
+func (rt *Runtime) completeLoop(le *loopExec) {
 	le.st.Elapsed = rt.eng.Now() - le.start
 	le.st.EnergyJoules = rt.mach.EnergyJoules(rt.energy) - le.startJoules
 	endCtrs := rt.mach.Counters()
@@ -503,7 +575,17 @@ func (rt *Runtime) completeLoop() {
 	if rt.probe != nil {
 		rt.probe.LoopDone(le.spec, le.plan, &le.st)
 	}
-	rt.cur = nil
+	for i, e := range rt.execs {
+		if e == le {
+			rt.execs = append(rt.execs[:i], rt.execs[i+1:]...)
+			break
+		}
+	}
+	for _, c := range le.plan.Active {
+		if th := rt.threads[c]; th.exec == le {
+			th.exec = nil
+		}
+	}
 	rt.loopExecutions++
 	rt.elapsedLoopSec += float64(le.st.Elapsed)
 	rt.weightedThreadSec += float64(le.st.Elapsed) * float64(le.st.ActiveThreads)
@@ -513,10 +595,10 @@ func (rt *Runtime) completeLoop() {
 	}
 }
 
-func (rt *Runtime) chargeOverhead(sec float64) {
+func (rt *Runtime) chargeOverhead(le *loopExec, sec float64) {
 	rt.overheadSec += sec
-	if rt.cur != nil {
-		rt.cur.st.OverheadSec += sec
+	if le != nil {
+		le.st.OverheadSec += sec
 	}
 }
 
@@ -545,8 +627,9 @@ func (rt *Runtime) shuffledVictims(th *thread, src []*thread, skip *thread) []*t
 // It reports the task, whether it crossed NUMA nodes, how many victim
 // deques were inspected (for overhead accounting), and the victim thread
 // (for chunked steals).
-func (rt *Runtime) trySteal(th *thread) (*Task, bool, int, *thread) {
-	plan := rt.cur.plan
+func (rt *Runtime) trySteal(th *thread, le *loopExec) (*Task, bool, int, *thread) {
+	plan := le.plan
+	victims := &le.victims
 	scanned := 0
 	switch plan.Mode {
 	case StealOff:
@@ -555,7 +638,7 @@ func (rt *Runtime) trySteal(th *thread) (*Task, bool, int, *thread) {
 		// The shuffle spans every active thread (the thief included, as in
 		// the LLVM runtime's victim draw); the thief skips itself while
 		// scanning.
-		for _, v := range rt.shuffledVictims(th, rt.victims.flat, nil) {
+		for _, v := range rt.shuffledVictims(th, victims.flat, nil) {
 			if v == th {
 				continue
 			}
@@ -566,7 +649,7 @@ func (rt *Runtime) trySteal(th *thread) (*Task, bool, int, *thread) {
 		}
 		return nil, false, scanned, nil
 	case StealHierarchical:
-		for _, v := range rt.shuffledVictims(th, rt.victims.localByNode[th.node], th) {
+		for _, v := range rt.shuffledVictims(th, victims.localByNode[th.node], th) {
 			scanned++
 			if t := v.stealFor(th.node, rt.rng); t != nil {
 				return t, false, scanned, v
@@ -576,7 +659,7 @@ func (rt *Runtime) trySteal(th *thread) (*Task, bool, int, *thread) {
 		// thief's node is out of queued work: inter-node stealing is
 		// allowed if the plan permits it.
 		if plan.InterNodeSteal {
-			for _, v := range rt.shuffledVictims(th, rt.victims.remoteByNode[th.node], nil) {
+			for _, v := range rt.shuffledVictims(th, victims.remoteByNode[th.node], nil) {
 				scanned++
 				if t := v.stealFor(th.node, rt.rng); t != nil {
 					return t, true, scanned, v
@@ -660,5 +743,10 @@ func stealForStateDump(th *thread, thiefNode, eligible, drawn int) string {
 }
 
 // QueuedTasks reports the number of tasks currently queued on a core
-// (diagnostics and tests).
-func (rt *Runtime) QueuedTasks(core int) int { return len(rt.threads[core].deque) }
+// (diagnostics and tests). Out-of-range cores report zero.
+func (rt *Runtime) QueuedTasks(core int) int {
+	if core < 0 || core >= len(rt.threads) {
+		return 0
+	}
+	return len(rt.threads[core].deque)
+}

@@ -19,7 +19,7 @@ type planScheduler struct {
 }
 
 func (s *planScheduler) Name() string                        { return s.name }
-func (s *planScheduler) Plan(rt *Runtime, l *LoopSpec) *Plan { return s.plan(rt, l) }
+func (s *planScheduler) Plan(rt *Runtime, l *LoopSpec, _ *Occupancy) *Plan { return s.plan(rt, l) }
 func (s *planScheduler) Observe(_ *Runtime, _ *LoopSpec, st *LoopStats) {
 	s.observed = append(s.observed, st)
 }
@@ -128,7 +128,7 @@ func TestPlanValidate(t *testing.T) {
 			},
 		}
 	}
-	if err := base().Validate(spec, 16); err != nil {
+	if err := base().Validate(spec, 16, nil); err != nil {
 		t.Fatalf("valid plan rejected: %v", err)
 	}
 	mutations := []struct {
@@ -152,7 +152,7 @@ func TestPlanValidate(t *testing.T) {
 		t.Run(m.name, func(t *testing.T) {
 			p := base()
 			m.mut(p)
-			if err := p.Validate(spec, 16); err == nil {
+			if err := p.Validate(spec, 16, nil); err == nil {
 				t.Error("invalid plan accepted")
 			}
 		})

@@ -11,8 +11,11 @@ import (
 // TaskEvent records one task execution for offline analysis (timelines,
 // placement heatmaps, steal-flow graphs).
 type TaskEvent struct {
-	LoopID   int     `json:"loop"`
-	LoopName string  `json:"loopName"`
+	LoopID   int    `json:"loop"`
+	LoopName string `json:"loopName"`
+	// Program tags the owning program in a multiprogrammed run; empty for
+	// a solo program, which keeps single-program traces byte-identical.
+	Program  string  `json:"program,omitempty"`
 	Exec     int     `json:"exec"` // which execution of the loop (1-based)
 	Lo       int     `json:"lo"`
 	Hi       int     `json:"hi"`
@@ -42,6 +45,7 @@ type TaskEvent struct {
 type LoopMark struct {
 	LoopID    int     `json:"loop"`
 	LoopName  string  `json:"loopName"`
+	Program   string  `json:"program,omitempty"`
 	Exec      int     `json:"exec"`
 	SubmitSec float64 `json:"submit"`
 	DoneSec   float64 `json:"done"`
@@ -152,7 +156,7 @@ func (tr *Trace) record(ev TaskEvent) { tr.Tasks = append(tr.Tasks, ev) }
 
 func (tr *Trace) endLoop(spec *LoopSpec, exec int, submit, done sim.Time, threads int) {
 	tr.Loops = append(tr.Loops, LoopMark{
-		LoopID: spec.ID, LoopName: spec.Name, Exec: exec,
+		LoopID: spec.ID, LoopName: spec.Name, Program: spec.Program, Exec: exec,
 		SubmitSec: float64(submit), DoneSec: float64(done), Threads: threads,
 	})
 }

@@ -32,6 +32,11 @@ type LoopSpec struct {
 	Iters  int // logical loop iterations
 	Tasks  int // number of task chunks the loop is partitioned into
 	Demand DemandFunc
+	// Program names the program this loop belongs to in a multiprogrammed
+	// run ("" for a solo program). The runtime stamps it onto the plan's
+	// Owner and tags traces, decisions, and attribution with it, so
+	// co-running programs stay distinguishable in every export.
+	Program string
 	// Hint optionally gives a programmer-provided affinity hint for
 	// iterations [lo, hi): the NUMA node whose memory they mostly touch,
 	// or -1 for no preference. It models the OpenMP 5.0/6.0 affinity
@@ -133,10 +138,17 @@ type Plan struct {
 	// deque — the chunked-steal mechanic of shepherd-style hierarchical
 	// schedulers (Olivier et al.), which amortizes steal operations.
 	StealChunk int
+	// Owner names the program the plan schedules for. The runtime stamps
+	// it from LoopSpec.Program at submission; schedulers need not set it.
+	Owner string
 }
 
-// Validate checks the plan against a spec and core count.
-func (p *Plan) Validate(spec *LoopSpec, numCores int) error {
+// Validate checks the plan against a spec, the machine's core count, and
+// the cores concurrently live loop executions already hold. occ may be nil
+// (no co-runners); a plan that claims a held core is invalid — concurrent
+// plans must be core-disjoint, the invariant multiprogrammed execution
+// rests on (threads are bound to exactly one execution at a time).
+func (p *Plan) Validate(spec *LoopSpec, numCores int, occ *Occupancy) error {
 	if p.Mode > StealOff {
 		return fmt.Errorf("taskrt: plan for %q has unknown steal mode %d", spec.Name, p.Mode)
 	}
@@ -160,6 +172,10 @@ func (p *Plan) Validate(spec *LoopSpec, numCores int) error {
 		}
 		if activeSet[c] {
 			return fmt.Errorf("taskrt: plan lists core %d twice", c)
+		}
+		if occ.Held(c) {
+			return fmt.Errorf("taskrt: plan for %q claims core %d, which a concurrently live loop holds",
+				spec.Name, c)
 		}
 		activeSet[c] = true
 	}
@@ -250,13 +266,83 @@ func (s *LoopStats) MeanNodeTaskSec(node int) float64 {
 
 const inf = 1e300
 
+// Occupancy is a scheduler's view of the machine's space-sharing state at
+// Plan time: which cores concurrently live loop executions already hold.
+// A plan must keep its Active set inside the free cores (Plan.Validate
+// enforces the disjointness); interference- and locality-aware schedulers
+// additionally mold their width and node mask around the co-runners.
+//
+// The runtime reuses one Occupancy across Plan calls, so schedulers must
+// not retain it past the call. All methods are nil-safe: a nil *Occupancy
+// means an empty machine (every core free), which is what solo programs
+// and scheduler unit tests see.
+type Occupancy struct {
+	held  []bool
+	count int
+}
+
+// NewOccupancy builds an occupancy view over numCores cores with the given
+// cores held — for scheduler tests; the runtime assembles its own.
+func NewOccupancy(numCores int, held ...int) *Occupancy {
+	o := &Occupancy{held: make([]bool, numCores)}
+	for _, c := range held {
+		if c >= 0 && c < numCores && !o.held[c] {
+			o.held[c] = true
+			o.count++
+		}
+	}
+	return o
+}
+
+// Hold marks a core as held. Out-of-range cores are ignored. Used by
+// independent verifiers (e.g. simcheck) that rebuild the occupancy from
+// their own books; the runtime assembles its view internally.
+func (o *Occupancy) Hold(core int) {
+	if o == nil || core < 0 || core >= len(o.held) || o.held[core] {
+		return
+	}
+	o.held[core] = true
+	o.count++
+}
+
+// Held reports whether a concurrently live loop execution holds the core.
+// Out-of-range cores report free (Plan.Validate range-checks separately).
+func (o *Occupancy) Held(core int) bool {
+	return o != nil && core >= 0 && core < len(o.held) && o.held[core]
+}
+
+// HeldCount returns the number of held cores.
+func (o *Occupancy) HeldCount() int {
+	if o == nil {
+		return 0
+	}
+	return o.count
+}
+
+// Any reports whether any core is held — false on an empty machine, where
+// occupancy-aware schedulers must reduce to their solo behaviour exactly.
+func (o *Occupancy) Any() bool { return o.HeldCount() > 0 }
+
+// NumCores returns the size of the view (0 for the nil view, which is
+// unbounded: every core free).
+func (o *Occupancy) NumCores() int {
+	if o == nil {
+		return 0
+	}
+	return len(o.held)
+}
+
 // Scheduler decides task placement and observes results. Implementations
 // live in internal/sched (baseline, work-sharing) and internal/ilan.
 type Scheduler interface {
 	// Name identifies the scheduler in reports.
 	Name() string
-	// Plan is invoked when the master encounters a taskloop.
-	Plan(rt *Runtime, spec *LoopSpec) *Plan
+	// Plan is invoked when the master encounters a taskloop. occ is the
+	// machine's occupancy at submission (nil-safe; empty for solo runs):
+	// the returned plan's Active set must avoid every held core, and on an
+	// empty occupancy the plan must be identical to the scheduler's
+	// single-program behaviour.
+	Plan(rt *Runtime, spec *LoopSpec, occ *Occupancy) *Plan
 	// Observe is invoked after the loop's barrier with measured statistics.
 	Observe(rt *Runtime, spec *LoopSpec, st *LoopStats)
 }
